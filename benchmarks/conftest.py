@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one registered experiment exactly once (these are
+minutes-long simulations, not microbenchmarks), prints the regenerated
+paper table, writes it to ``benchmarks/results/<id>.txt``, and attaches
+headline metrics to the pytest-benchmark record via ``extra_info``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def run_and_record(benchmark, capsys):
+    """Run an experiment under pytest-benchmark and persist its output."""
+
+    def _run(experiment_fn, max_extra_info: int = 12, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment_fn(**kwargs), rounds=1, iterations=1)
+        text = result.format()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out_path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        out_path.write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print(f"[saved to {out_path}]")
+        for key, value in list(result.metrics.items())[:max_extra_info]:
+            benchmark.extra_info[key] = round(value, 4)
+        return result
+
+    return _run

@@ -1,0 +1,19 @@
+"""Ablation: ensemble policies (fixed vs dynamic priority, cold-page).
+
+Quantifies the paper's flagged future work: dynamic ensemble priority
+(§5) and cold-page prediction (§3.4), against PATHFINDER alone and the
+paper's fixed-priority PF+NL+SISB.
+"""
+
+from repro.harness.experiments import experiment_ablation_ensemble
+
+
+def test_ablation_ensemble(run_and_record):
+    result = run_and_record(experiment_ablation_ensemble,
+                            n_accesses=16_000, seed=1)
+    pf = result.metrics["speedup:pathfinder"]
+    fixed = result.metrics["speedup:pathfinder+nl+sisb"]
+    # Both ensemble policies must improve on PATHFINDER alone.
+    assert fixed >= pf
+    assert result.metrics["speedup:adaptive-ensemble"] >= pf - 0.01
+    assert result.metrics["speedup:pathfinder+coldpage"] >= pf - 0.01

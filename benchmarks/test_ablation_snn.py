@@ -1,0 +1,13 @@
+"""Ablation: the SNN mechanisms this reproduction documents in DESIGN.md
+(target-trace STDP, sparse init, strong homeostasis, label confirmation)."""
+
+from repro.harness.experiments import experiment_ablation_snn
+
+
+def test_ablation_snn(run_and_record):
+    result = run_and_record(experiment_ablation_snn, n_accesses=12_000,
+                            seed=1)
+    full = result.metrics["accuracy:full"]
+    # Removing the label-confirmation protocol must cost accuracy —
+    # it is the source of PATHFINDER's selectivity (paper §3.3).
+    assert result.metrics["accuracy:no-confirmation"] < full

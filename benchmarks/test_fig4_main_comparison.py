@@ -1,0 +1,26 @@
+"""Paper Figure 4 (a/b/c): IPC, accuracy, and coverage for the full
+prefetcher lineup on all 11 workloads.
+
+Paper-reported mean IPC relationships: PATHFINDER > BO (+2.1%),
+> Delta-LSTM (+18.7%), > SPP (+9.3%), > Voyager (+1.7%), > Pythia
+(+2%), ~= SISB (99.12%); the PF+NL+SISB ensemble is best overall.
+"""
+
+from repro.harness.experiments import experiment_fig4
+
+
+def test_fig4_main_comparison(run_and_record):
+    result = run_and_record(experiment_fig4, n_accesses=16_000, seed=1)
+    speedup = {k.split(":")[1]: v for k, v in result.metrics.items()
+               if k.startswith("speedup:")}
+    # Headline shape: PATHFINDER is competitive with the whole field.
+    assert speedup["pathfinder"] > speedup["delta-lstm"]
+    assert speedup["pathfinder"] > 1.0
+    # The ensemble covers PATHFINDER's temporal blind spot.
+    assert speedup["pathfinder+nl+sisb"] >= speedup["pathfinder"]
+    # Accuracy profile: SPP and PATHFINDER are the most accurate
+    # aggressive-issue prefetchers (paper Fig 4b).
+    accuracy = {k.split(":")[1]: v for k, v in result.metrics.items()
+                if k.startswith("accuracy:")}
+    assert accuracy["pathfinder"] > accuracy["pythia"]
+    assert accuracy["pathfinder"] > accuracy["bo"]

@@ -1,0 +1,20 @@
+"""Paper Figure 5 / Table 7: PATHFINDER sensitivity to the delta range.
+
+Smaller ranges raise accuracy (offset-like large deltas are filtered
+out) but cut coverage, costing IPC on wide-delta workloads.
+"""
+
+from repro.harness.experiments import experiment_fig5_table7
+
+
+def test_fig5_table7_delta_range(run_and_record):
+    result = run_and_record(experiment_fig5_table7, n_accesses=16_000,
+                            seed=1)
+    # Coverage must grow monotonically with the delta range (Fig 5c).
+    assert (result.metrics["coverage:D31"]
+            <= result.metrics["coverage:D63"] + 0.02)
+    assert (result.metrics["coverage:D63"]
+            <= result.metrics["coverage:D127"] + 0.02)
+    # Accuracy at the smallest range is at least comparable (Fig 5b).
+    assert (result.metrics["accuracy:D31"]
+            >= result.metrics["accuracy:D127"] - 0.05)

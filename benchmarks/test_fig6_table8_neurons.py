@@ -1,0 +1,20 @@
+"""Paper Figure 6 / Table 8: neuron-count sensitivity, 1 vs 2 labels.
+
+The 2-label variant is nearly insensitive to the neuron count; the
+1-label variant degrades more clearly as neurons shrink, because each
+neuron can only track one pattern at a time.
+"""
+
+from repro.harness.experiments import experiment_fig6_table8
+
+
+def test_fig6_table8_neurons(run_and_record):
+    result = run_and_record(experiment_fig6_table8, n_accesses=16_000,
+                            seed=1, neuron_counts=(10, 20, 50, 100))
+    two_label = [result.metrics[f"speedup:2label:n{n}"]
+                 for n in (10, 20, 50, 100)]
+    # Fig 6 shape: the 2-label variant varies little across counts.
+    assert max(two_label) - min(two_label) < 0.06
+    # And it never falls below the 1-label variant at the small end.
+    assert (result.metrics["speedup:2label:n10"]
+            >= result.metrics["speedup:1label:n10"] - 0.02)

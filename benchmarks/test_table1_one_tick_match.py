@@ -1,0 +1,12 @@
+"""Paper Table 1: % of queries where the highest-potential neuron after
+the first tick matches the interval's most-firing neuron (82.8-93.6%)."""
+
+from repro.harness.experiments import experiment_table1
+
+
+def test_table1_one_tick_match(run_and_record):
+    result = run_and_record(experiment_table1, n_accesses=2500, seed=1)
+    matches = [v for k, v in result.metrics.items() if k.startswith("match:")]
+    assert len(matches) == 11
+    # Shape check: agreement is high on average (paper: 82.8-93.6%).
+    assert sum(matches) / len(matches) > 60.0

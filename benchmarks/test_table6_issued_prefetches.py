@@ -1,0 +1,14 @@
+"""Paper Table 6: issued prefetches of SPP (fewest), Pythia (most),
+and PATHFINDER (in between), per trace."""
+
+from repro.harness.experiments import experiment_table6
+
+
+def test_table6_issued_prefetches(run_and_record):
+    result = run_and_record(experiment_table6, n_accesses=16_000, seed=1)
+    spp = result.metrics["issued:spp"]
+    pythia = result.metrics["issued:pythia"]
+    pathfinder = result.metrics["issued:pathfinder"]
+    # Paper Table 6 averages: SPP 774K < Pathfinder 1.75M < Pythia 1.87M.
+    assert spp < pythia
+    assert spp < pathfinder <= pythia * 1.1

@@ -1,0 +1,22 @@
+"""Paper Table 9 / §3.5: PATHFINDER hardware area and power.
+
+The analytical model is calibrated to the paper's synthesis anchors:
+SNN 0.21 mm² / 446 mW at 50 PEs × range 127, scaling down with delta
+range and PE count; full prefetcher 0.23 mm² / ~0.5 W.
+"""
+
+import pytest
+
+from repro.harness.experiments import experiment_table9
+from repro.hw import PAPER_TABLE9
+
+
+def test_table9_area_power(run_and_record):
+    result = run_and_record(experiment_table9, max_extra_info=14)
+    for (n_pe, delta_range), (paper_area, paper_power) in PAPER_TABLE9.items():
+        area = result.metrics[f"area:{n_pe}pe:r{delta_range}"]
+        power = result.metrics[f"power:{n_pe}pe:r{delta_range}"]
+        assert area == pytest.approx(paper_area, rel=0.35)
+        assert power == pytest.approx(paper_power, rel=0.35)
+    assert result.metrics["total_area"] == pytest.approx(0.23, rel=0.05)
+    assert 0.4 <= result.metrics["total_power"] <= 0.5

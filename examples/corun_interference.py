@@ -1,0 +1,60 @@
+"""Co-run two programs over a shared LLC and measure the damage.
+
+Uses the multicore simulation mode: each program keeps its private
+L1/L2 and timing model, but the LLC and DRAM banks are shared — one
+program's streaming evicts the other's working set, and prefetch
+traffic competes for bandwidth (the paper's §2.3 interference
+motivation, at the timing level).
+
+Usage::
+
+    python examples/corun_interference.py [workload_a] [workload_b]
+"""
+
+import sys
+
+from repro.core import PathfinderPrefetcher
+from repro.harness import format_table
+from repro.prefetchers import generate_prefetches
+from repro.sim import simulate, simulate_multicore
+from repro.sim.simulator import HierarchyConfig
+from repro.traces import make_trace
+
+
+def main() -> None:
+    workload_a = sys.argv[1] if len(sys.argv) > 1 else "473-astar-s1"
+    workload_b = sys.argv[2] if len(sys.argv) > 2 else "482-sphinx-s0"
+    hierarchy = HierarchyConfig.scaled()
+
+    trace_a = make_trace(workload_a, 8000, seed=1)
+    trace_b = make_trace(workload_b, 8000, seed=2)
+
+    solo = {t.name: simulate(t, config=hierarchy) for t in (trace_a, trace_b)}
+    corun = simulate_multicore([trace_a, trace_b], config=hierarchy)
+
+    files = [generate_prefetches(PathfinderPrefetcher(), t)
+             for t in (trace_a, trace_b)]
+    corun_pf = simulate_multicore([trace_a, trace_b], files,
+                                  config=hierarchy)
+
+    rows = []
+    for i, trace in enumerate((trace_a, trace_b)):
+        rows.append([
+            trace.name,
+            solo[trace.name].ipc,
+            corun.per_core[i].ipc,
+            corun_pf.per_core[i].ipc,
+        ])
+    print(format_table(
+        ["Program", "solo IPC", "co-run IPC", "co-run + PATHFINDER"],
+        rows, title="Shared-LLC interference"))
+    solo_ipcs = [solo[trace_a.name].ipc, solo[trace_b.name].ipc]
+    print()
+    print(f"weighted speedup, no prefetch : "
+          f"{corun.weighted_speedup(solo_ipcs):.3f} / 2.0")
+    print(f"weighted speedup, PATHFINDER  : "
+          f"{corun_pf.weighted_speedup(solo_ipcs):.3f} / 2.0")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Graph-analytics scenario: why neural delta prefetching wins on GAP.
+
+The paper's motivating case (§5): graph workloads like connected
+components (cc) and BFS traverse *fresh* pages with *recurring delta
+structure* — addresses never repeat, so temporal record/replay (SISB)
+has nothing to replay, while PATHFINDER's SNN recognises the delta
+patterns and keeps covering misses.  Conversely, on a temporally
+repeating workload (xalan-like), SISB dominates.
+
+Usage::
+
+    python examples/graph_analytics.py
+"""
+
+from repro.harness import Evaluation, format_table
+
+
+def main() -> None:
+    evaluation = Evaluation(n_accesses=16_000, seed=1)
+    prefetchers = ("sisb", "spp", "pythia", "pathfinder")
+    rows = []
+    for workload in ("cc-5", "bfs-10", "473-astar-s1", "623-xalan-s1"):
+        row = [workload]
+        for name in prefetchers:
+            result = evaluation.run(workload, name)
+            row.append(f"{result.speedup:.3f} / {result.coverage:.2f}")
+        rows.append(row)
+
+    print(format_table(
+        ["Workload"] + [f"{p} (speedup/cov)" for p in prefetchers], rows,
+        title="Fresh-page graph workloads vs a temporal workload"))
+    print()
+    print("cc/bfs/astar: SISB coverage ~0 (no address ever repeats) while")
+    print("the delta learners cover misses; xalan flips the ordering —")
+    print("its replayed access sequence is exactly what SISB records.")
+
+
+if __name__ == "__main__":
+    main()

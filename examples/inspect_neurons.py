@@ -1,0 +1,54 @@
+"""Look inside a trained PATHFINDER: what did each neuron learn?
+
+Trains PATHFINDER on a workload, then decodes each specialised
+neuron's receptive field — the delta history its weights are tuned to
+— alongside its Inference-Table labels and adaptive threshold.  This
+is the Diehl & Cook "digit receptive field" view, applied to address
+deltas (see ``repro.snn.introspection``).
+
+Usage::
+
+    python examples/inspect_neurons.py [workload] [n_accesses]
+"""
+
+import sys
+
+from repro.core import PathfinderPrefetcher
+from repro.harness import format_table
+from repro.prefetchers import generate_prefetches
+from repro.snn.introspection import specialised_neurons
+from repro.traces import make_trace
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "473-astar-s1"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    print(f"Training PATHFINDER on {workload} ({n_accesses} loads) ...")
+    trace = make_trace(workload, n_accesses, seed=1)
+    prefetcher = PathfinderPrefetcher()
+    generate_prefetches(prefetcher, trace)
+
+    fields = specialised_neurons(prefetcher, min_concentration=0.05)
+    rows = []
+    for field in fields[:15]:
+        rows.append([
+            field.neuron,
+            "{" + ", ".join(map(str, field.deltas)) + "}",
+            f"{field.concentration:.2f}",
+            f"{field.theta:.1f}",
+            ", ".join(map(str, field.labels)) or "-",
+        ])
+    print()
+    print(format_table(
+        ["Neuron", "Learned delta history", "Concentration", "Theta",
+         "Labels (next delta)"],
+        rows, title=f"Top specialised neurons after {workload}"))
+    print()
+    print(f"{len(fields)} of {prefetcher.config.n_neurons} neurons "
+          f"specialised; {prefetcher.inference_table.occupancy()} labels "
+          f"live.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Full prefetcher shoot-out on one workload (a single Figure-4 column).
+
+Runs every prefetcher from the paper's main comparison — BO, SISB,
+Voyager, Delta-LSTM, SPP, Pythia, PATHFINDER, and the PF+NL+SISB
+ensemble — on one workload, printing IPC speedup, accuracy, coverage,
+and issue counts.
+
+Usage::
+
+    python examples/prefetcher_shootout.py [workload] [n_accesses]
+
+Note: Voyager and Delta-LSTM train numpy LSTMs offline first, so this
+example takes a minute or two.
+"""
+
+import sys
+
+from repro.harness import Evaluation, format_table
+from repro.harness.experiments import FIG4_PREFETCHERS
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "473-astar-s1"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 16_000
+
+    evaluation = Evaluation(n_accesses=n_accesses, seed=1)
+    baseline = evaluation.baseline(workload)
+    print(f"workload={workload}  loads={n_accesses}  "
+          f"baseline IPC={baseline.ipc:.3f}  "
+          f"baseline misses={baseline.llc_misses}")
+    print()
+
+    rows = []
+    for name in FIG4_PREFETCHERS:
+        print(f"  running {name} ...", flush=True)
+        result = evaluation.run(workload, name)
+        rows.append([name, result.speedup, result.accuracy,
+                     result.coverage, result.issued])
+
+    print()
+    print(format_table(
+        ["Prefetcher", "IPC speedup", "Accuracy", "Coverage", "Issued"],
+        rows, title=f"Figure-4 style comparison on {workload}"))
+
+
+if __name__ == "__main__":
+    main()

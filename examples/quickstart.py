@@ -1,0 +1,50 @@
+"""Quickstart: run PATHFINDER on a synthetic workload and print metrics.
+
+Usage::
+
+    python examples/quickstart.py [workload] [n_accesses]
+
+Generates one of the paper's calibrated workloads, runs the PATHFINDER
+prefetcher over it to produce a prefetch file (the ML-DPC two-phase
+flow), replays trace + prefetches through the cache/CPU simulator, and
+reports IPC speedup, accuracy, and coverage against a no-prefetch
+baseline.
+"""
+
+import sys
+
+from repro import HierarchyConfig, PathfinderPrefetcher, make_trace, simulate
+from repro.prefetchers import generate_prefetches
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "cc-5"
+    n_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    print(f"Generating {n_accesses} loads of workload {workload!r} ...")
+    trace = make_trace(workload, n_accesses, seed=1)
+    hierarchy = HierarchyConfig.scaled()
+
+    print("Running no-prefetch baseline ...")
+    baseline = simulate(trace, config=hierarchy)
+
+    print("Running PATHFINDER (SNN/STDP, 1-tick mode, degree 2) ...")
+    prefetcher = PathfinderPrefetcher()
+    requests = generate_prefetches(prefetcher, trace)
+    result = simulate(trace, requests, config=hierarchy,
+                      prefetcher_name="pathfinder")
+
+    print()
+    print(f"  baseline IPC : {baseline.ipc:8.3f}")
+    print(f"  PATHFINDER   : {result.ipc:8.3f}  "
+          f"({100 * (result.ipc / baseline.ipc - 1):+.1f}%)")
+    print(f"  issued       : {result.pf_issued}")
+    print(f"  useful       : {result.pf_useful}")
+    print(f"  accuracy     : {result.accuracy():.3f}")
+    print(f"  coverage     : {result.coverage(baseline.llc_misses):.3f}")
+    print(f"  SNN queries  : {prefetcher.snn_queries}")
+    print(f"  labels live  : {prefetcher.inference_table.occupancy()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Trace and prefetcher analysis tooling.
+
+- :mod:`repro.analysis.trace_stats` — the statistics the paper uses to
+  characterise workloads (Tables 5, 7, 8): delta histograms and range
+  occupancy, per-window distinct-delta counts, address reuse, working
+  set, instruction density.
+- :mod:`repro.analysis.diagnostics` — post-run prefetcher diagnostics:
+  per-prefetcher issue/usefulness breakdowns and side-by-side reports.
+"""
+
+from .trace_stats import (
+    DeltaStatistics,
+    TraceProfile,
+    delta_histogram,
+    delta_statistics,
+    profile_trace,
+    reuse_fraction,
+)
+from .diagnostics import PrefetchDiagnosis, diagnose
+
+__all__ = [
+    "DeltaStatistics",
+    "TraceProfile",
+    "delta_histogram",
+    "delta_statistics",
+    "profile_trace",
+    "reuse_fraction",
+    "PrefetchDiagnosis",
+    "diagnose",
+]

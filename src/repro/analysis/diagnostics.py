@@ -1,0 +1,81 @@
+"""Post-run prefetcher diagnostics.
+
+Answers the questions the paper's §5 discussion asks of each
+prefetcher: how aggressive was it, how timely were its prefetches, how
+much of its issue budget was wasted, and how does that explain its IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..sim.metrics import SimResult
+
+
+@dataclass(frozen=True)
+class PrefetchDiagnosis:
+    """Derived diagnostic view of one simulation result.
+
+    Attributes:
+        prefetcher: Prefetcher name.
+        issue_rate: Issued prefetches per demand load.
+        accuracy: Useful / issued.
+        late_fraction: Fraction of useful prefetches that were still in
+            flight when demanded (issued too late to hide full latency).
+        wasted: Prefetches evicted unused (bandwidth thrown away).
+        speedup: IPC over the supplied baseline (0 if none given).
+        verdict: One-line qualitative classification.
+    """
+
+    prefetcher: str
+    issue_rate: float
+    accuracy: float
+    late_fraction: float
+    wasted: int
+    speedup: float
+    verdict: str
+
+
+def _classify(issue_rate: float, accuracy: float,
+              late_fraction: float) -> str:
+    if issue_rate < 0.05:
+        return "mostly silent (no learnable pattern or still training)"
+    if accuracy >= 0.8 and issue_rate < 0.8:
+        return "selective and precise (PATHFINDER/SPP-like profile)"
+    if accuracy < 0.4 and issue_rate > 1.0:
+        return "aggressive and wasteful (spends bandwidth exploring)"
+    if late_fraction > 0.5:
+        return "accurate but late (predictions arrive with the demand)"
+    return "balanced"
+
+
+def diagnose(result: SimResult,
+             baseline: Optional[SimResult] = None) -> PrefetchDiagnosis:
+    """Build a :class:`PrefetchDiagnosis` from a simulation result."""
+    loads = max(1, result.loads)
+    issued = result.pf_issued
+    useful = max(1, result.pf_useful)
+    issue_rate = issued / loads
+    accuracy = result.accuracy()
+    late_fraction = result.pf_late / useful if result.pf_useful else 0.0
+    speedup = (result.ipc / baseline.ipc
+               if baseline is not None and baseline.ipc else 0.0)
+    return PrefetchDiagnosis(
+        prefetcher=result.prefetcher_name,
+        issue_rate=issue_rate,
+        accuracy=accuracy,
+        late_fraction=late_fraction,
+        wasted=int(result.extra.get("pf_unused_evicted", 0)),
+        speedup=speedup,
+        verdict=_classify(issue_rate, accuracy, late_fraction))
+
+
+def compare(diagnoses: Sequence[PrefetchDiagnosis]) -> List[List[str]]:
+    """Rows for :func:`repro.harness.reporting.format_table`."""
+    rows: List[List[str]] = []
+    for d in diagnoses:
+        rows.append([d.prefetcher, f"{d.issue_rate:.2f}",
+                     f"{d.accuracy:.2f}", f"{d.late_fraction:.2f}",
+                     str(d.wasted), f"{d.speedup:.3f}", d.verdict])
+    return rows

@@ -1,0 +1,146 @@
+"""Command-line interface for the PATHFINDER reproduction.
+
+Three subcommands, installed as the ``repro`` console script::
+
+    repro trace <workload> --out trace.txt [--loads N] [--seed S]
+        Generate a calibrated synthetic workload trace (or --profile an
+        existing/new trace instead of saving it).
+
+    repro run <workload> <prefetcher> [--loads N] [--seed S]
+        Run one prefetcher on one workload and print IPC / accuracy /
+        coverage against the no-prefetch baseline.
+
+    repro experiment <id> [--loads N] [--workloads a,b,...]
+        Regenerate one of the paper's tables/figures (see
+        ``repro.harness.EXPERIMENTS`` for ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness import (
+    EXPERIMENTS,
+    Evaluation,
+    PREFETCHER_FACTORIES,
+    format_table,
+    run_experiment,
+)
+from .traces import WORKLOAD_NAMES, make_trace
+from .traces.trace import save_trace
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = make_trace(args.workload, args.loads, seed=args.seed)
+    if args.profile:
+        from .analysis import profile_trace
+
+        profile = profile_trace(trace)
+        rows = [
+            ["loads", profile.loads],
+            ["instructions", profile.instructions],
+            ["instructions/load", f"{profile.instructions_per_load:.1f}"],
+            ["unique blocks", profile.unique_blocks],
+            ["unique pages", profile.unique_pages],
+            ["block reuse fraction", f"{profile.reuse_fraction:.3f}"],
+            ["in-page deltas", profile.deltas_total],
+            ["deltas in (-31,31)", profile.deltas_in_31],
+            ["deltas in (-15,15)", profile.deltas_in_15],
+            ["avg deltas / 1K", f"{profile.delta_stats.avg_deltas:.0f}"],
+            ["avg distinct / 1K", f"{profile.delta_stats.avg_distinct:.0f}"],
+            ["avg top-5 occurrences / 1K",
+             f"{profile.delta_stats.avg_top5:.0f}"],
+        ]
+        print(format_table(["statistic", "value"], rows,
+                           title=f"profile of {trace.name}"))
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"wrote {len(trace)} loads to {args.out}")
+    elif not args.profile:
+        print("nothing to do: pass --out and/or --profile")
+        return 2
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    evaluation = Evaluation(n_accesses=args.loads, seed=args.seed)
+    row = evaluation.run(args.workload, args.prefetcher)
+    baseline = evaluation.baseline(args.workload)
+    rows = [
+        ["baseline IPC", f"{baseline.ipc:.3f}"],
+        ["prefetch IPC", f"{row.ipc:.3f}"],
+        ["speedup", f"{row.speedup:.3f}"],
+        ["accuracy", f"{row.accuracy:.3f}"],
+        ["coverage", f"{row.coverage:.3f}"],
+        ["issued", row.issued],
+        ["useful", row.useful],
+        ["baseline LLC misses", row.baseline_misses],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.prefetcher} on {args.workload} "
+                             f"({args.loads} loads, seed {args.seed})"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.loads is not None:
+        kwargs["n_accesses"] = args.loads
+    if args.workloads:
+        kwargs["workloads"] = args.workloads.split(",")
+    if args.experiment in ("table9", "table2_fig3"):
+        kwargs.pop("n_accesses", None)
+        kwargs.pop("workloads", None)
+    result = run_experiment(args.experiment, **kwargs)
+    print(result.format())
+    if args.json:
+        result.save_json(args.json)
+        print(f"\n[metrics written to {args.json}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PATHFINDER (ASPLOS 2024) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate/profile a workload trace")
+    p_trace.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_trace.add_argument("--out", help="file to write the trace to")
+    p_trace.add_argument("--profile", action="store_true",
+                         help="print trace statistics (Tables 5/7/8 style)")
+    p_trace.add_argument("--loads", type=int, default=20_000)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_run = sub.add_parser("run", help="run a prefetcher on a workload")
+    p_run.add_argument("workload", choices=WORKLOAD_NAMES)
+    p_run.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
+    p_run.add_argument("--loads", type=int, default=20_000)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    p_exp.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--loads", type=int, default=None)
+    p_exp.add_argument("--workloads",
+                       help="comma-separated workload subset")
+    p_exp.add_argument("--json", help="also write results to a JSON file")
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

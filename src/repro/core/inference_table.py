@@ -1,0 +1,124 @@
+"""The Inference Table: per-neuron labels with saturating confidence.
+
+Paper §3.3–3.4: each excitatory output neuron owns one or two
+label/confidence slots.  A label is the next-delta a firing neuron
+predicts; its confidence is a 3-bit saturating counter incremented on
+correct predictions and decremented on wrong ones.  When confidence
+reaches zero the label is erased, re-opening the slot so the prefetcher
+adapts as the program changes phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass
+class _Slot:
+    label: int
+    confidence: int
+
+
+class InferenceTable:
+    """Label/confidence slots for every SNN output neuron.
+
+    Args:
+        n_neurons: Number of output neurons.
+        labels_per_neuron: Slots per neuron (paper: 1 or 2).
+        confidence_max: Counter saturation value (3-bit → 7).
+        confidence_init: Confidence a fresh label starts with.
+        require_confirmation: Assign a label only after the same
+            (neuron, next-delta) pair has been observed twice.  This is
+            the paper's §3.3 protocol — "upon encountering the same
+            input and output pattern in subsequent instances, the
+            Inference Table captures the next delta" — and is what
+            makes PATHFINDER selective on noise.
+    """
+
+    def __init__(self, n_neurons: int, labels_per_neuron: int = 2,
+                 confidence_max: int = 7, confidence_init: int = 1,
+                 require_confirmation: bool = True):
+        if n_neurons < 1:
+            raise ConfigError("n_neurons must be >= 1")
+        if labels_per_neuron < 1:
+            raise ConfigError("labels_per_neuron must be >= 1")
+        if not 1 <= confidence_init <= confidence_max:
+            raise ConfigError("confidence_init outside counter range")
+        self.n_neurons = n_neurons
+        self.labels_per_neuron = labels_per_neuron
+        self.confidence_max = confidence_max
+        self.confidence_init = confidence_init
+        self.require_confirmation = require_confirmation
+        self._slots: List[List[_Slot]] = [[] for _ in range(n_neurons)]
+        self._pending: List[Optional[int]] = [None] * n_neurons
+        # Statistics for diagnostics.
+        self.labels_assigned = 0
+        self.labels_erased = 0
+        self.correct_observations = 0
+        self.wrong_observations = 0
+
+    def _check_neuron(self, neuron: int) -> None:
+        if not 0 <= neuron < self.n_neurons:
+            raise ConfigError(f"neuron index {neuron} out of range")
+
+    def labels(self, neuron: int, min_confidence: int = 1) -> List[int]:
+        """Labels of ``neuron`` at or above ``min_confidence``,
+        highest-confidence first."""
+        self._check_neuron(neuron)
+        ranked = sorted(self._slots[neuron], key=lambda s: -s.confidence)
+        return [s.label for s in ranked if s.confidence >= min_confidence]
+
+    def observe(self, neuron: int, actual_delta: int) -> None:
+        """Reconcile a neuron's labels with the observed next delta.
+
+        - A matching label gains confidence (saturating).
+        - Non-matching labels lose confidence; at zero they are erased.
+        - If no label matches and a slot is free, the observed delta is
+          assigned as a new label with the initial confidence — this is
+          the "learning labels on the fly" step of §3.3.
+        """
+        self._check_neuron(neuron)
+        slots = self._slots[neuron]
+        matched = False
+        for slot in slots:
+            if slot.label == actual_delta:
+                slot.confidence = min(self.confidence_max,
+                                      slot.confidence + 1)
+                matched = True
+                self.correct_observations += 1
+            else:
+                slot.confidence -= 1
+                self.wrong_observations += 1
+        self._slots[neuron] = [s for s in slots if s.confidence > 0]
+        erased = len(slots) - len(self._slots[neuron])
+        self.labels_erased += erased
+        if not matched and len(self._slots[neuron]) < self.labels_per_neuron:
+            if (not self.require_confirmation
+                    or self._pending[neuron] == actual_delta):
+                self._slots[neuron].append(
+                    _Slot(label=actual_delta,
+                          confidence=self.confidence_init))
+                self.labels_assigned += 1
+                self._pending[neuron] = None
+            else:
+                self._pending[neuron] = actual_delta
+
+    def predict(self, neuron: int, min_confidence: int = 1,
+                max_labels: Optional[int] = None) -> List[int]:
+        """Deltas this neuron predicts, best first, up to ``max_labels``."""
+        labels = self.labels(neuron, min_confidence)
+        if max_labels is not None:
+            labels = labels[:max_labels]
+        return labels
+
+    def occupancy(self) -> int:
+        """Total labels currently assigned across all neurons."""
+        return sum(len(slots) for slots in self._slots)
+
+    def reset(self) -> None:
+        """Erase every label (keeps configuration and statistics)."""
+        self._slots = [[] for _ in range(self.n_neurons)]
+        self._pending = [None] * self.n_neurons

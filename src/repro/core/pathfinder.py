@@ -1,0 +1,185 @@
+"""The PATHFINDER prefetcher (paper §3).
+
+Per demand load, PATHFINDER:
+
+1. looks up the (pc, page) stream in the Training Table and computes
+   the new within-page delta;
+2. reconciles the previously fired neuron's labels against that delta
+   in the Inference Table (label learning + confidence update, §3.3);
+3. encodes the updated delta history as a Memory Access Pixel Matrix
+   and queries the SNN (full multi-tick interval or the 1-tick
+   approximation), with STDP learning continuously on — or gated by
+   the periodic-STDP policy of Figure 8;
+4. records the firing neuron in the Training Table for the next
+   reconciliation;
+5. issues up to ``degree`` prefetches from the firing neurons' labels
+   whose confidence clears the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..prefetchers.base import Prefetcher
+from ..snn.network import DiehlCookNetwork, NetworkConfig, RunRecord
+from ..snn.neurons import LIFConfig
+from ..snn.stdp import STDPConfig
+from ..types import BLOCKS_PER_PAGE, MemoryAccess, compose_address
+from .config import PathfinderConfig
+from .inference_table import InferenceTable
+from .pixel import PixelMatrixEncoder
+from .training_table import TrainingTable
+
+
+class PathfinderPrefetcher(Prefetcher):
+    """SNN/STDP online-learning delta prefetcher."""
+
+    name = "pathfinder"
+
+    def __init__(self, config: Optional[PathfinderConfig] = None):
+        self.config = config or PathfinderConfig()
+        self.encoder = PixelMatrixEncoder(self.config)
+        self.network = self._build_network()
+        self.training_table = TrainingTable(
+            capacity=self.config.training_table_size,
+            history=self.config.history)
+        self.inference_table = InferenceTable(
+            n_neurons=self.config.n_neurons,
+            labels_per_neuron=self.config.labels_per_neuron,
+            confidence_max=self.config.confidence_max,
+            confidence_init=self.config.confidence_init,
+            require_confirmation=self.config.require_confirmation)
+        self.accesses_seen = 0
+        self.snn_queries = 0
+        self.prefetches_emitted = 0
+        # Table 1 instrumentation (full-interval mode only): how often
+        # the highest-potential neuron after the first tick matches the
+        # interval's most-firing neuron.
+        self.first_tick_matches = 0
+        self.first_tick_total = 0
+
+    def _build_network(self) -> DiehlCookNetwork:
+        cfg = self.config
+        net_cfg = NetworkConfig(
+            n_input=cfg.n_input,
+            n_neurons=cfg.n_neurons,
+            timesteps=cfg.timesteps,
+            inhibition_scale=cfg.inhibition_scale,
+            init_density=cfg.init_density,
+            seed=cfg.seed)
+        stdp = STDPConfig(
+            nu_post=cfg.nu_post,
+            x_target=cfg.x_target,
+            w_max=cfg.w_max,
+            norm=cfg.norm)
+        lif = LIFConfig(
+            theta_plus=cfg.theta_plus,
+            theta_max=cfg.theta_max,
+            tc_theta_decay=cfg.tc_theta_decay)
+        return DiehlCookNetwork(net_cfg, stdp=stdp, exc_lif=lif)
+
+    # -- periodic STDP gating (paper Figure 8) ------------------------------
+
+    def _learning_enabled(self) -> bool:
+        epoch = self.config.stdp_epoch
+        if epoch is None:
+            return True
+        return (self.accesses_seen % epoch) < self.config.stdp_on_accesses
+
+    # -- main per-access step ------------------------------------------------
+
+    def process(self, access: MemoryAccess) -> List[int]:
+        cfg = self.config
+        self.accesses_seen += 1
+        page, offset = access.page, access.offset
+
+        entry = self.training_table.lookup(access.pc, page)
+        if entry is None:
+            entry = self.training_table.insert(access.pc, page, offset)
+            return self._query_and_predict(entry, page, offset,
+                                           first_offset=offset)
+
+        delta = offset - entry.last_offset
+        entry.last_offset = offset
+        if delta == 0:
+            # Repeat access to the same block: nothing to learn or do.
+            return []
+
+        in_range = self.encoder.in_range(delta)
+        if entry.fired_neuron is not None and in_range:
+            self.inference_table.observe(entry.fired_neuron, delta)
+        self.training_table.record_delta(entry, delta, in_range)
+        if not in_range:
+            return []
+        return self._query_and_predict(entry, page, offset)
+
+    def _query_and_predict(self, entry, page: int, offset: int,
+                           first_offset: Optional[int] = None) -> List[int]:
+        cfg = self.config
+        rates = self.encoder.encode_history(list(entry.deltas),
+                                            first_offset=first_offset)
+        if rates is None:
+            entry.fired_neuron = None
+            return []
+        learn = self._learning_enabled()
+        record = self._run_network(rates, learn)
+        self.snn_queries += 1
+        entry.fired_neuron = record.winner
+        if record.winner is None:
+            return []
+
+        predictions: List[int] = []
+        for neuron in record.winners(cfg.degree):
+            for label in self.inference_table.predict(
+                    neuron, min_confidence=cfg.confidence_threshold):
+                if label not in predictions:
+                    predictions.append(label)
+                if len(predictions) >= cfg.degree:
+                    break
+            if len(predictions) >= cfg.degree:
+                break
+        entry.predicted = tuple(predictions)
+
+        addresses: List[int] = []
+        for label in predictions:
+            target = offset + label
+            if 0 <= target < BLOCKS_PER_PAGE:
+                addresses.append(compose_address(page, target))
+        self.prefetches_emitted += len(addresses)
+        return addresses
+
+    def _run_network(self, rates: np.ndarray, learn: bool) -> RunRecord:
+        if self.config.one_tick:
+            return self.network.present_one_tick(rates, learn=learn)
+        record = self.network.present(rates, learn=learn)
+        if record.winner is not None:
+            # Table 1 statistic: would the 1-tick rule (highest potential
+            # after the first tick, normalised by each neuron's effective
+            # threshold distance) have picked the interval's winner?
+            self.first_tick_total += 1
+            exc = self.network.exc
+            rise = record.potentials_first_tick - exc.config.rest
+            gap = exc.config.threshold_gap + exc.theta
+            first_tick_winner = int(np.argmax(rise / np.maximum(gap, 1e-9)))
+            # Count a match when the tick-1 leader is any of the
+            # interval's most-firing neurons (co-specialised neurons
+            # legitimately tie on spike counts).
+            best_count = record.spike_counts.max()
+            if record.spike_counts[first_tick_winner] == best_count:
+                self.first_tick_matches += 1
+        return record
+
+    def reset(self) -> None:
+        """Clear all run-time state, re-seeding the SNN identically."""
+        self.network = self._build_network()
+        self.training_table = TrainingTable(
+            capacity=self.config.training_table_size,
+            history=self.config.history)
+        self.inference_table.reset()
+        self.accesses_seen = 0
+        self.snn_queries = 0
+        self.prefetches_emitted = 0
+        self.first_tick_matches = 0
+        self.first_tick_total = 0

@@ -1,0 +1,90 @@
+"""The Training Table: a PC/page-indexed CAM of per-stream state.
+
+Paper §3.2–3.3: the Training Table "keeps track of recent accesses by a
+given PC to a specific page".  Each row remembers the stream's last
+page offset (to compute the next delta), the recent delta history fed
+to the SNN, and which output neuron fired for that input — the neuron
+that will be labelled (or confidence-updated) once the *actual* next
+delta is observed.
+
+Implemented as an LRU-bounded ordered map, modelling the paper's
+1K-row CAM.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass
+class TrainingEntry:
+    """One (pc, page) stream's state.
+
+    Attributes:
+        last_offset: Page offset of the stream's most recent access.
+        deltas: Recent in-range deltas, oldest first (bounded by H).
+        fired_neuron: SNN neuron that fired for the last query, awaiting
+            the next delta so it can be labelled / confidence-checked.
+        predicted: Deltas that were actually prefetched off the last
+            query (used for bookkeeping/diagnostics).
+    """
+
+    last_offset: int
+    deltas: Deque[int] = field(default_factory=deque)
+    fired_neuron: Optional[int] = None
+    predicted: Tuple[int, ...] = ()
+
+
+class TrainingTable:
+    """LRU-bounded map from (pc, page) to :class:`TrainingEntry`."""
+
+    def __init__(self, capacity: int = 1024, history: int = 3):
+        if capacity < 1:
+            raise ConfigError("TrainingTable capacity must be >= 1")
+        if history < 1:
+            raise ConfigError("history must be >= 1")
+        self.capacity = capacity
+        self.history = history
+        self._rows: "OrderedDict[Tuple[int, int], TrainingEntry]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def lookup(self, pc: int, page: int) -> Optional[TrainingEntry]:
+        """Return the stream's entry (refreshing LRU), or ``None``."""
+        key = (pc, page)
+        entry = self._rows.get(key)
+        if entry is not None:
+            self._rows.move_to_end(key)
+        return entry
+
+    def insert(self, pc: int, page: int, offset: int) -> TrainingEntry:
+        """Allocate a fresh row for a stream's first access to a page."""
+        key = (pc, page)
+        if len(self._rows) >= self.capacity and key not in self._rows:
+            self._rows.popitem(last=False)
+            self.evictions += 1
+        entry = TrainingEntry(last_offset=offset,
+                              deltas=deque(maxlen=self.history))
+        self._rows[key] = entry
+        self._rows.move_to_end(key)
+        return entry
+
+    def record_delta(self, entry: TrainingEntry, delta: int,
+                     in_range: bool) -> None:
+        """Advance a stream by one observed delta.
+
+        Out-of-range deltas break the pattern: the history is cleared
+        (the stream effectively restarts), mirroring how a reduced
+        delta range loses coverage in the paper's Figure 5.
+        """
+        if in_range:
+            entry.deltas.append(delta)
+        else:
+            entry.deltas.clear()
+            entry.fired_neuron = None

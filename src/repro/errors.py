@@ -1,0 +1,25 @@
+"""Exception hierarchy for the PATHFINDER reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace object is malformed."""
+
+
+class SimulationError(ReproError):
+    """The cache/CPU simulator was driven into an invalid state."""
+
+
+class ModelError(ReproError):
+    """A learning model (SNN / LSTM / RL) was misused or failed to build."""

@@ -1,0 +1,37 @@
+"""Experiment harness: runners, reporting, and the table/figure registry.
+
+- :mod:`repro.harness.runner` — drive (workload × prefetcher) grids
+  through the simulator with trace/baseline caching.
+- :mod:`repro.harness.reporting` — ASCII tables and summary statistics.
+- :mod:`repro.harness.experiments` — one entry per table/figure in the
+  paper's evaluation; each regenerates the corresponding rows/series.
+"""
+
+from .runner import (
+    PREFETCHER_FACTORIES,
+    EvalRow,
+    Evaluation,
+    SeedAggregate,
+    default_hierarchy,
+    make_prefetcher,
+    multi_seed_grid,
+    run_prefetcher,
+)
+from .reporting import format_table, geometric_mean
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = [
+    "PREFETCHER_FACTORIES",
+    "EvalRow",
+    "Evaluation",
+    "SeedAggregate",
+    "default_hierarchy",
+    "make_prefetcher",
+    "multi_seed_grid",
+    "run_prefetcher",
+    "format_table",
+    "geometric_mean",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,62 @@
+"""ASCII-table rendering and summary statistics for experiment output."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render a padded ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; floats are rendered with 3 decimals.
+        title: Optional title line above the table.
+    """
+    rendered = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geomean (the paper's cross-benchmark IPC summary statistic).
+
+    Raises:
+        ValueError: if any value is non-positive or the input is empty.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean, for rate metrics (accuracy/coverage)."""
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,232 @@
+"""Drivers that turn (workload, prefetcher) pairs into metrics.
+
+The flow mirrors the paper's methodology exactly (§4.1): generate the
+trace, run the prefetcher offline to produce a prefetch file, replay
+trace + prefetch file through the simulator, and derive accuracy and
+coverage against a no-prefetch baseline run of the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core import PathfinderPrefetcher
+from ..errors import ConfigError
+from ..prefetchers import (
+    AdaptiveEnsemblePrefetcher,
+    BestOffsetPrefetcher,
+    ColdPagePredictor,
+    DeltaLSTMPrefetcher,
+    EnsemblePrefetcher,
+    NextLinePrefetcher,
+    PythiaPrefetcher,
+    SISBPrefetcher,
+    SPPPrefetcher,
+    VoyagerPrefetcher,
+    generate_prefetches,
+)
+from ..prefetchers.base import Prefetcher
+from ..sim import SimResult, simulate
+from ..sim.simulator import HierarchyConfig
+from ..traces import make_trace
+from ..types import Trace
+
+
+def default_hierarchy() -> HierarchyConfig:
+    """The hierarchy used throughout the reproduction's evaluation.
+
+    Scaled down 16× from the paper's Table 3 so the default 16–20K-load
+    traces exert the same working-set pressure the paper's 1M-load
+    traces exert on a 2MB LLC (see ``HierarchyConfig.scaled``).
+    """
+    return HierarchyConfig.scaled()
+
+
+def _pathfinder_nl_sisb() -> Prefetcher:
+    return EnsemblePrefetcher(
+        [PathfinderPrefetcher(), NextLinePrefetcher(degree=1),
+         SISBPrefetcher()])
+
+
+def _pathfinder_nl() -> Prefetcher:
+    return EnsemblePrefetcher(
+        [PathfinderPrefetcher(), NextLinePrefetcher(degree=1)])
+
+
+def _adaptive_pf_nl_sisb() -> Prefetcher:
+    return AdaptiveEnsemblePrefetcher(
+        [PathfinderPrefetcher(), NextLinePrefetcher(degree=1),
+         SISBPrefetcher()])
+
+
+def _pathfinder_coldpage() -> Prefetcher:
+    return EnsemblePrefetcher(
+        [PathfinderPrefetcher(), ColdPagePredictor()])
+
+
+#: Factory per prefetcher name, matching the paper's Figure 4 lineup.
+PREFETCHER_FACTORIES: Dict[str, Callable[[], Prefetcher]] = {
+    "nextline": lambda: NextLinePrefetcher(degree=2),
+    "bo": BestOffsetPrefetcher,
+    "spp": SPPPrefetcher,
+    "sisb": SISBPrefetcher,
+    "pythia": PythiaPrefetcher,
+    "delta-lstm": DeltaLSTMPrefetcher,
+    "voyager": VoyagerPrefetcher,
+    "pathfinder": PathfinderPrefetcher,
+    "pathfinder+nl": _pathfinder_nl,
+    "pathfinder+nl+sisb": _pathfinder_nl_sisb,
+    # Future-work extensions (paper §3.4 / §5):
+    "adaptive-ensemble": _adaptive_pf_nl_sisb,
+    "pathfinder+coldpage": _pathfinder_coldpage,
+}
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a fresh prefetcher by registry name."""
+    try:
+        return PREFETCHER_FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(PREFETCHER_FACTORIES))
+        raise ConfigError(f"unknown prefetcher {name!r}; known: {known}") from None
+
+
+@dataclass
+class EvalRow:
+    """One (workload, prefetcher) measurement.
+
+    ``speedup`` and ``coverage`` are relative to the same workload's
+    no-prefetch baseline run.
+    """
+
+    workload: str
+    prefetcher: str
+    ipc: float
+    speedup: float
+    accuracy: float
+    coverage: float
+    issued: int
+    useful: int
+    baseline_misses: int
+    result: SimResult
+
+
+def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
+                   baseline: SimResult,
+                   hierarchy: Optional[HierarchyConfig] = None,
+                   budget: int = 2) -> EvalRow:
+    """Generate this prefetcher's prefetch file and replay it."""
+    hierarchy = hierarchy or default_hierarchy()
+    requests = generate_prefetches(prefetcher, trace, budget=budget)
+    result = simulate(trace, requests, config=hierarchy,
+                      prefetcher_name=prefetcher.name)
+    return EvalRow(
+        workload=trace.name,
+        prefetcher=prefetcher.name,
+        ipc=result.ipc,
+        speedup=result.ipc / baseline.ipc if baseline.ipc else 0.0,
+        accuracy=result.accuracy(),
+        coverage=result.coverage(baseline.llc_misses),
+        issued=result.pf_issued,
+        useful=result.pf_useful,
+        baseline_misses=baseline.llc_misses,
+        result=result)
+
+
+@dataclass
+class Evaluation:
+    """A (workloads × prefetchers) grid runner with caching.
+
+    Traces and their no-prefetch baselines are generated once and
+    reused across prefetchers, so every prefetcher sees the identical
+    access stream — the paper's fairness requirement (§4.5).
+    """
+
+    n_accesses: int = 20_000
+    seed: int = 1
+    hierarchy: HierarchyConfig = field(default_factory=default_hierarchy)
+    budget: int = 2
+    _traces: Dict[str, Trace] = field(default_factory=dict)
+    _baselines: Dict[str, SimResult] = field(default_factory=dict)
+
+    def trace(self, workload: str) -> Trace:
+        """The cached trace for a workload (generated on first use)."""
+        if workload not in self._traces:
+            self._traces[workload] = make_trace(
+                workload, self.n_accesses, seed=self.seed)
+        return self._traces[workload]
+
+    def baseline(self, workload: str) -> SimResult:
+        """The cached no-prefetch run for a workload."""
+        if workload not in self._baselines:
+            self._baselines[workload] = simulate(
+                self.trace(workload), config=self.hierarchy,
+                prefetcher_name="none")
+        return self._baselines[workload]
+
+    def run(self, workload: str, prefetcher_name: str) -> EvalRow:
+        """Evaluate one registry prefetcher on one workload."""
+        prefetcher = make_prefetcher(prefetcher_name)
+        return run_prefetcher(self.trace(workload), prefetcher,
+                              self.baseline(workload),
+                              hierarchy=self.hierarchy, budget=self.budget)
+
+    def run_grid(self, workloads: Sequence[str],
+                 prefetchers: Sequence[str]) -> List[EvalRow]:
+        """Evaluate the full grid, row-major by workload."""
+        rows: List[EvalRow] = []
+        for workload in workloads:
+            for name in prefetchers:
+                rows.append(self.run(workload, name))
+        return rows
+
+
+@dataclass(frozen=True)
+class SeedAggregate:
+    """Across-seed statistics for one (workload, prefetcher) cell."""
+
+    workload: str
+    prefetcher: str
+    mean_speedup: float
+    std_speedup: float
+    mean_accuracy: float
+    mean_coverage: float
+    seeds: int
+
+
+def multi_seed_grid(workloads: Sequence[str],
+                    prefetchers: Sequence[str],
+                    seeds: Sequence[int] = (1, 2, 3),
+                    n_accesses: int = 16_000,
+                    hierarchy: Optional[HierarchyConfig] = None
+                    ) -> List[SeedAggregate]:
+    """Run a grid across several trace seeds and aggregate.
+
+    Synthetic traces make seed sensitivity a real validity question;
+    this helper reports mean and standard deviation of the speedup per
+    (workload, prefetcher) so conclusions can be checked for stability.
+    """
+    import statistics
+
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    evaluations = [Evaluation(n_accesses=n_accesses, seed=seed,
+                              hierarchy=hierarchy or default_hierarchy())
+                   for seed in seeds]
+    aggregates: List[SeedAggregate] = []
+    for workload in workloads:
+        for name in prefetchers:
+            rows = [evaluation.run(workload, name)
+                    for evaluation in evaluations]
+            speedups = [r.speedup for r in rows]
+            aggregates.append(SeedAggregate(
+                workload=workload,
+                prefetcher=name,
+                mean_speedup=statistics.fmean(speedups),
+                std_speedup=(statistics.stdev(speedups)
+                             if len(speedups) > 1 else 0.0),
+                mean_accuracy=statistics.fmean(r.accuracy for r in rows),
+                mean_coverage=statistics.fmean(r.coverage for r in rows),
+                seeds=len(seeds)))
+    return aggregates

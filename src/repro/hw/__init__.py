@@ -1,0 +1,24 @@
+"""Hardware cost model for PATHFINDER (paper §3.5, Table 9).
+
+Analytical area/power model calibrated to the paper's synthesis
+results (Synopsys DC at 12nm for the SNN; CACTI 22nm→12nm for the
+tables).  See :mod:`repro.hw.cost_model`.
+"""
+
+from .cost_model import (
+    HardwareCost,
+    PAPER_TABLE9,
+    inference_table_cost,
+    pathfinder_cost,
+    snn_cost,
+    training_table_cost,
+)
+
+__all__ = [
+    "HardwareCost",
+    "PAPER_TABLE9",
+    "inference_table_cost",
+    "pathfinder_cost",
+    "snn_cost",
+    "training_table_cost",
+]

@@ -1,0 +1,69 @@
+"""1-D k-means, used by Delta-LSTM to cluster memory addresses.
+
+Hashemi et al. cluster each trace's virtual addresses into 6 locality
+clusters before training, shrinking the per-cluster delta vocabulary.
+Lloyd's algorithm on sorted 1-D data with k-means++-style spread
+initialisation is exact enough for that purpose and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def kmeans_1d(values: np.ndarray, k: int, iterations: int = 25,
+              seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster 1-D ``values`` into ``k`` groups.
+
+    Args:
+        values: Data points (any shape; flattened).
+        k: Number of clusters (reduced if there are fewer distinct
+            values).
+        iterations: Lloyd iterations.
+        seed: RNG seed for initialisation.
+
+    Returns:
+        (centroids, labels): sorted centroid array of length <= k and a
+        per-point cluster index array.
+    """
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if values.size == 0:
+        raise ConfigError("cannot cluster an empty array")
+    if k < 1:
+        raise ConfigError("k must be >= 1")
+    distinct = np.unique(values)
+    k = min(k, distinct.size)
+    # Spread initialisation: quantiles of the distinct values.
+    quantiles = np.linspace(0.0, 1.0, k + 2)[1:-1]
+    centroids = np.quantile(distinct, quantiles)
+    rng = np.random.default_rng(seed)
+    for _ in range(iterations):
+        labels = np.argmin(np.abs(values[:, None] - centroids[None, :]),
+                           axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = values[labels == j]
+            if members.size:
+                new_centroids[j] = members.mean()
+            else:
+                # Re-seed an empty cluster at a random point.
+                new_centroids[j] = values[rng.integers(0, values.size)]
+        if np.allclose(new_centroids, centroids):
+            centroids = new_centroids
+            break
+        centroids = new_centroids
+    order = np.argsort(centroids)
+    centroids = centroids[order]
+    labels = np.argmin(np.abs(values[:, None] - centroids[None, :]), axis=1)
+    return centroids, labels
+
+
+def assign_1d(values: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment for new 1-D points."""
+    values = np.asarray(values, dtype=float).reshape(-1)
+    return np.argmin(np.abs(values[:, None]
+                            - np.asarray(centroids)[None, :]), axis=1)

@@ -1,0 +1,73 @@
+"""Adam optimiser over named-parameter modules.
+
+Modules expose ``parameters() -> dict`` and ``gradients() -> dict`` of
+matching numpy arrays (see :mod:`repro.ml.layers`); the optimiser
+updates them in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class Adam:
+    """Adam with optional global-norm gradient clipping."""
+
+    def __init__(self, modules: Sequence, lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, clip_norm: float = 5.0):
+        if lr <= 0:
+            raise ConfigError("learning rate must be positive")
+        self.modules = list(modules)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._step = 0
+        self._m: List[Dict[str, np.ndarray]] = [
+            {k: np.zeros_like(v) for k, v in m.parameters().items()}
+            for m in self.modules]
+        self._v: List[Dict[str, np.ndarray]] = [
+            {k: np.zeros_like(v) for k, v in m.parameters().items()}
+            for m in self.modules]
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every module."""
+        for module in self.modules:
+            module.zero_grad()
+
+    def _global_norm(self) -> float:
+        total = 0.0
+        for module in self.modules:
+            for grad in module.gradients().values():
+                total += float((grad ** 2).sum())
+        return float(np.sqrt(total))
+
+    def step(self) -> None:
+        """Apply one Adam update to all module parameters."""
+        self._step += 1
+        scale = 1.0
+        if self.clip_norm:
+            norm = self._global_norm()
+            if norm > self.clip_norm:
+                scale = self.clip_norm / (norm + 1e-12)
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for idx, module in enumerate(self.modules):
+            params = module.parameters()
+            grads = module.gradients()
+            for key, param in params.items():
+                grad = grads[key] * scale
+                m = self._m[idx][key]
+                v = self._v[idx][key]
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad ** 2
+                param -= (self.lr * (m / bias1)
+                          / (np.sqrt(v / bias2) + self.eps))

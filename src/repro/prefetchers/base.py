@@ -1,0 +1,79 @@
+"""The prefetcher interface and the trace→prefetch-file driver.
+
+All prefetchers — PATHFINDER and every baseline — implement the same
+per-access protocol: observe one demand load, optionally return byte
+addresses to prefetch.  :func:`generate_prefetches` drives a prefetcher
+over a whole trace and produces the ML-DPC-style prefetch file that
+:func:`repro.sim.simulate` replays, enforcing the paper's budget of at
+most two prefetches per triggering access.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+from ..types import MemoryAccess, PrefetchRequest, Trace
+
+
+class Prefetcher:
+    """Base class for all prefetchers.
+
+    Subclasses implement :meth:`process`; stateful prefetchers keep
+    their tables/models as instance attributes.  Offline-trained
+    prefetchers (Delta-LSTM, Voyager) additionally override
+    :meth:`train` which the driver calls before the replay pass.
+    """
+
+    #: Human-readable name used in reports.
+    name = "base"
+
+    def train(self, trace: Trace) -> None:
+        """Offline training pass (no-op for online prefetchers)."""
+
+    def process(self, access: MemoryAccess) -> List[int]:
+        """Observe one demand load; return byte addresses to prefetch.
+
+        Returning more addresses than the driver's budget is fine —
+        extras are truncated in priority order (first = highest).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear all run-time state (tables, histories); keep config."""
+
+
+def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
+                        budget: int = 2,
+                        train: bool = True) -> List[PrefetchRequest]:
+    """Run ``prefetcher`` over ``trace`` and emit its prefetch file.
+
+    Args:
+        prefetcher: The prefetcher to drive.
+        trace: The demand-load trace, in program order.
+        budget: Maximum prefetches kept per triggering access
+            (paper: 2).
+        train: Whether to invoke the prefetcher's offline
+            :meth:`Prefetcher.train` hook first.
+
+    Returns:
+        Prefetch records ordered by trigger instruction id.
+    """
+    if budget <= 0:
+        raise ConfigError("prefetch budget must be positive")
+    if train:
+        prefetcher.train(trace)
+    requests: List[PrefetchRequest] = []
+    for access in trace:
+        addresses = prefetcher.process(access)
+        seen = set()
+        for address in addresses:
+            block = address >> 6
+            if block in seen:
+                continue
+            seen.add(block)
+            requests.append(PrefetchRequest(
+                trigger_instr_id=access.instr_id, address=address))
+            if len(seen) >= budget:
+                break
+    return requests

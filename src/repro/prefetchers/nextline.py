@@ -1,0 +1,24 @@
+"""Next-line prefetcher: the simplest strided baseline (paper §2.1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+from ..types import BLOCK_SIZE, MemoryAccess, block_address
+from .base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` sequential cache blocks."""
+
+    name = "nextline"
+
+    def __init__(self, degree: int = 1):
+        if degree < 1:
+            raise ConfigError("degree must be >= 1")
+        self.degree = degree
+
+    def process(self, access: MemoryAccess) -> List[int]:
+        base = block_address(access.address)
+        return [base + BLOCK_SIZE * i for i in range(1, self.degree + 1)]

@@ -1,0 +1,167 @@
+"""Signature Path Prefetcher (Kim et al., MICRO 2016) — history-based
+delta baseline with confidence-throttled lookahead.
+
+SPP compresses each page's recent delta history into a 12-bit
+*signature*; a Signature Table maps (page → signature, last offset) and
+a Pattern Table maps signature → per-delta occurrence counters.  On an
+access, SPP walks a speculative *path*: it predicts the most likely
+delta for the current signature, multiplies path confidence by that
+delta's hit ratio, advances the signature as if the delta happened, and
+repeats while confidence stays above the prefetch threshold.  This
+adaptive depth is what gives SPP the paper's observed profile: the
+highest accuracy of all baselines, but the lowest coverage (Table 6 —
+it issues far fewer prefetches).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from ..types import BLOCKS_PER_PAGE, MemoryAccess, compose_address
+from .base import Prefetcher
+
+_SIGNATURE_BITS = 12
+_SIGNATURE_MASK = (1 << _SIGNATURE_BITS) - 1
+
+
+def advance_signature(signature: int, delta: int) -> int:
+    """SPP's signature update: shift-and-xor with the new delta."""
+    return ((signature << 3) ^ (delta & 0x3F)) & _SIGNATURE_MASK
+
+
+@dataclass(frozen=True)
+class SPPConfig:
+    """SPP knobs (defaults follow the MICRO'16 paper's shape).
+
+    Attributes:
+        signature_table_size: Tracked pages (LRU).
+        pattern_table_size: Distinct signatures tracked (LRU).
+        max_counter: Saturation of the per-delta occurrence counters.
+        prefetch_threshold: Minimum path confidence to issue.
+        max_degree: Hard cap on prefetches per access (paper budget: 2).
+        lookahead_depth: Maximum speculative path length.
+    """
+
+    signature_table_size: int = 256
+    pattern_table_size: int = 512
+    max_counter: int = 15
+    prefetch_threshold: float = 0.25
+    max_degree: int = 2
+    lookahead_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prefetch_threshold <= 1.0:
+            raise ConfigError("prefetch_threshold must be in (0, 1]")
+        if self.max_degree < 1 or self.lookahead_depth < 1:
+            raise ConfigError("degrees must be >= 1")
+
+
+class _PatternEntry:
+    """Per-signature delta statistics."""
+
+    __slots__ = ("counters", "total")
+
+    def __init__(self) -> None:
+        self.counters: Dict[int, int] = {}
+        self.total = 0
+
+
+class SPPPrefetcher(Prefetcher):
+    """Signature-path delta prefetcher with confidence throttling."""
+
+    name = "spp"
+
+    def __init__(self, config: Optional[SPPConfig] = None):
+        self.config = config or SPPConfig()
+        # page -> (signature, last_offset)
+        self._signature_table: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._pattern_table: "OrderedDict[int, _PatternEntry]" = OrderedDict()
+
+    # -- table maintenance ---------------------------------------------------
+
+    def _touch_signature(self, page: int) -> Optional[List[int]]:
+        row = self._signature_table.get(page)
+        if row is not None:
+            self._signature_table.move_to_end(page)
+        return row
+
+    def _insert_signature(self, page: int, offset: int) -> None:
+        if (len(self._signature_table) >= self.config.signature_table_size
+                and page not in self._signature_table):
+            self._signature_table.popitem(last=False)
+        self._signature_table[page] = [0, offset]
+
+    def _pattern_entry(self, signature: int, create: bool) -> Optional[_PatternEntry]:
+        entry = self._pattern_table.get(signature)
+        if entry is not None:
+            self._pattern_table.move_to_end(signature)
+            return entry
+        if not create:
+            return None
+        if len(self._pattern_table) >= self.config.pattern_table_size:
+            self._pattern_table.popitem(last=False)
+        entry = _PatternEntry()
+        self._pattern_table[signature] = entry
+        return entry
+
+    def _record(self, signature: int, delta: int) -> None:
+        entry = self._pattern_entry(signature, create=True)
+        count = entry.counters.get(delta, 0)
+        if count < self.config.max_counter:
+            entry.counters[delta] = count + 1
+            entry.total += 1
+        else:
+            # Saturated: age everything to keep ratios adaptive.
+            for key in list(entry.counters):
+                entry.counters[key] = max(1, entry.counters[key] // 2)
+            entry.total = sum(entry.counters.values())
+            entry.counters[delta] = entry.counters.get(delta, 0) + 1
+            entry.total += 1
+
+    # -- per-access ------------------------------------------------------------
+
+    def process(self, access: MemoryAccess) -> List[int]:
+        cfg = self.config
+        page, offset = access.page, access.offset
+        row = self._touch_signature(page)
+        if row is None:
+            self._insert_signature(page, offset)
+            return []
+        signature, last_offset = row
+        delta = offset - last_offset
+        if delta == 0:
+            return []
+        self._record(signature, delta)
+        signature = advance_signature(signature, delta)
+        row[0], row[1] = signature, offset
+
+        # Speculative path walk with multiplicative confidence.
+        addresses: List[int] = []
+        confidence = 1.0
+        speculative_signature = signature
+        speculative_offset = offset
+        for _ in range(cfg.lookahead_depth):
+            entry = self._pattern_entry(speculative_signature, create=False)
+            if entry is None or entry.total == 0:
+                break
+            best_delta, best_count = max(entry.counters.items(),
+                                         key=lambda item: item[1])
+            confidence *= best_count / entry.total
+            if confidence < cfg.prefetch_threshold:
+                break
+            speculative_offset += best_delta
+            if not 0 <= speculative_offset < BLOCKS_PER_PAGE:
+                break
+            addresses.append(compose_address(page, speculative_offset))
+            if len(addresses) >= cfg.max_degree:
+                break
+            speculative_signature = advance_signature(
+                speculative_signature, best_delta)
+        return addresses
+
+    def reset(self) -> None:
+        self._signature_table.clear()
+        self._pattern_table.clear()

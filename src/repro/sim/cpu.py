@@ -1,0 +1,115 @@
+"""MLP-aware timing core used to turn load latencies into IPC.
+
+The model captures the three effects that determine how much a
+prefetcher helps IPC, without simulating every instruction:
+
+- **dispatch width** — non-load instructions flow at ``width`` per cycle;
+- **ROB runahead** — dispatch may run at most ``rob_size`` instructions
+  ahead of the oldest incomplete load, so independent misses overlap
+  (memory-level parallelism) but a long-latency miss eventually stalls
+  the window;
+- **MSHR cap** — at most ``mshrs`` misses to DRAM may be outstanding.
+
+This is the standard "interval model" approximation used by many
+prefetching studies; see ``DESIGN.md`` for the substitution note.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Timing-core parameters.
+
+    Attributes:
+        width: Instructions dispatched/retired per cycle.
+        rob_size: Maximum instructions between dispatch and the oldest
+            incomplete load.
+        mshrs: Maximum outstanding long-latency (DRAM) loads.
+    """
+
+    width: int = 4
+    rob_size: int = 256
+    mshrs: int = 16
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.rob_size <= 0 or self.mshrs <= 0:
+            raise ConfigError("core parameters must be positive")
+
+
+class TimingCore:
+    """Sequentially accounts load completions into a cycle count.
+
+    Drive it by calling :meth:`dispatch_load` once per load in program
+    order with the load's instruction id; the caller then computes the
+    load's latency (via the cache hierarchy at the returned dispatch
+    cycle) and calls :meth:`complete_load`.
+    """
+
+    def __init__(self, config: CoreConfig = CoreConfig()):
+        self.config = config
+        self._dispatch_cycle = 0.0
+        self._last_instr_id = 0
+        self._commit_cycle = 0.0
+        # (instr_id, completion_cycle) of loads still inside the ROB window.
+        self._window: Deque[Tuple[int, float]] = deque()
+        # Completion cycles of outstanding DRAM misses (MSHR occupancy).
+        self._mshr: Deque[float] = deque()
+
+    @property
+    def cycle(self) -> float:
+        """Current dispatch-cursor cycle."""
+        return self._dispatch_cycle
+
+    def dispatch_load(self, instr_id: int) -> float:
+        """Advance the front end to this load; return its dispatch cycle."""
+        gap = max(0, instr_id - self._last_instr_id)
+        self._last_instr_id = instr_id
+        self._dispatch_cycle += gap / self.config.width
+        # ROB limit: cannot dispatch more than rob_size instructions past
+        # the oldest incomplete load.
+        while self._window:
+            oldest_id, oldest_done = self._window[0]
+            if instr_id - oldest_id < self.config.rob_size:
+                break
+            self._dispatch_cycle = max(self._dispatch_cycle, oldest_done)
+            self._window.popleft()
+        return self._dispatch_cycle
+
+    def mshr_admit(self, cycle: float) -> float:
+        """Account one DRAM miss entering the MSHRs at ``cycle``.
+
+        Returns the (possibly delayed) cycle at which the miss may
+        actually issue, once an MSHR is free.
+        """
+        while self._mshr and self._mshr[0] <= cycle:
+            self._mshr.popleft()
+        if len(self._mshr) >= self.config.mshrs:
+            cycle = max(cycle, self._mshr.popleft())
+            while self._mshr and self._mshr[0] <= cycle:
+                self._mshr.popleft()
+        return cycle
+
+    def mshr_fill(self, completion_cycle: float) -> None:
+        """Record the completion cycle of an issued DRAM miss."""
+        self._mshr.append(completion_cycle)
+        if len(self._mshr) > 1 and self._mshr[-1] < self._mshr[-2]:
+            # Keep the deque sorted so mshr_admit pops in completion order.
+            self._mshr = deque(sorted(self._mshr))
+
+    def complete_load(self, instr_id: int, completion_cycle: float) -> None:
+        """Record a load's data-ready cycle; updates in-order commit."""
+        self._window.append((instr_id, completion_cycle))
+        self._commit_cycle = max(self._commit_cycle, completion_cycle)
+
+    def finalize(self, total_instructions: int) -> float:
+        """Drain the pipeline; return total cycles for the whole trace."""
+        drain = max((done for _, done in self._window), default=0.0)
+        front_end = total_instructions / self.config.width
+        return max(front_end, self._dispatch_cycle, self._commit_cycle, drain)

@@ -1,0 +1,118 @@
+"""Replacement policies for the set-associative caches.
+
+Two policies, both used by ChampSim-era simulators:
+
+- :class:`LRUPolicy` — true LRU (ChampSim's default, and this
+  reproduction's).
+- :class:`SRRIPPolicy` — Static Re-Reference Interval Prediction
+  (Jaleel et al., ISCA 2010): each line carries a 2-bit re-reference
+  prediction value (RRPV); insertions predict a *long* interval
+  (RRPV = max-1), hits promote to *immediate* (RRPV = 0), and victims
+  are lines already at the maximum RRPV (ageing every line until one
+  qualifies).  SRRIP resists scanning workloads thrashing the LLC.
+
+A policy instance manages one cache *set*; the cache owns one policy
+object per set.  Policies track only tag ordering/metadata — line
+payload state (the prefetch bit) lives in the cache itself.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy:
+    """Per-set replacement bookkeeping interface."""
+
+    def on_hit(self, tag: int) -> None:
+        """A resident tag was referenced."""
+        raise NotImplementedError
+
+    def on_insert(self, tag: int) -> None:
+        """A new tag was installed (victim already chosen/evicted)."""
+        raise NotImplementedError
+
+    def choose_victim(self) -> int:
+        """Return the tag to evict (set is full)."""
+        raise NotImplementedError
+
+    def on_evict(self, tag: int) -> None:
+        """A tag was removed."""
+        raise NotImplementedError
+
+    def tags(self) -> Iterable[int]:
+        """All resident tags."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used ordering."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_hit(self, tag: int) -> None:
+        self._order.move_to_end(tag)
+
+    def on_insert(self, tag: int) -> None:
+        self._order[tag] = None
+        self._order.move_to_end(tag)
+
+    def choose_victim(self) -> int:
+        return next(iter(self._order))
+
+    def on_evict(self, tag: int) -> None:
+        self._order.pop(tag, None)
+
+    def tags(self) -> Iterable[int]:
+        return self._order.keys()
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """2-bit Static RRIP.
+
+    Args:
+        max_rrpv: Maximum re-reference prediction value (2-bit → 3).
+    """
+
+    def __init__(self, max_rrpv: int = 3):
+        if max_rrpv < 1:
+            raise ConfigError("max_rrpv must be >= 1")
+        self.max_rrpv = max_rrpv
+        self._rrpv: Dict[int, int] = {}
+
+    def on_hit(self, tag: int) -> None:
+        self._rrpv[tag] = 0
+
+    def on_insert(self, tag: int) -> None:
+        # Predict a long (but not distant) re-reference interval.
+        self._rrpv[tag] = self.max_rrpv - 1
+
+    def choose_victim(self) -> int:
+        # Age everyone until some line reaches max RRPV; evict the
+        # first such line (insertion order breaks ties, as in hardware
+        # way-scan order).
+        while True:
+            for tag, rrpv in self._rrpv.items():
+                if rrpv >= self.max_rrpv:
+                    return tag
+            for tag in self._rrpv:
+                self._rrpv[tag] += 1
+
+    def on_evict(self, tag: int) -> None:
+        self._rrpv.pop(tag, None)
+
+    def tags(self) -> Iterable[int]:
+        return self._rrpv.keys()
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a per-set policy by name ("lru" or "srrip")."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "srrip":
+        return SRRIPPolicy()
+    raise ConfigError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,40 @@
+"""Spiking-neural-network substrate (the BindsNet substitute).
+
+A from-scratch numpy implementation of the Diehl & Cook (2015)
+unsupervised-STDP architecture the paper builds PATHFINDER on:
+
+- :mod:`repro.snn.encoding` — Poisson rate coding of pixel inputs.
+- :mod:`repro.snn.neurons` — leaky integrate-and-fire groups, including
+  the adaptive-threshold excitatory variant.
+- :mod:`repro.snn.stdp` — post-pre trace STDP with weight normalisation.
+- :mod:`repro.snn.synapses` — dense connections carrying currents and
+  applying STDP.
+- :mod:`repro.snn.network` — the excitatory/inhibitory two-layer
+  network with lateral inhibition, multi-tick simulation, and the
+  paper's 1-tick approximation (§3.4 "Lowering Time Interval").
+- :mod:`repro.snn.monitors` — spike/voltage recording.
+
+Network parameters default to the paper's Table 4 (``exc=20.5``,
+``inh=17.5``, ``norm=38.4``, ``theta_plus=0.05``, 32 ticks).
+"""
+
+from .encoding import poisson_spike_train
+from .neurons import AdaptiveLIFGroup, LIFConfig, LIFGroup
+from .stdp import STDPConfig
+from .synapses import Connection
+from .network import DiehlCookNetwork, NetworkConfig, RunRecord
+from .monitors import SpikeMonitor, VoltageMonitor
+
+__all__ = [
+    "poisson_spike_train",
+    "AdaptiveLIFGroup",
+    "LIFConfig",
+    "LIFGroup",
+    "STDPConfig",
+    "Connection",
+    "DiehlCookNetwork",
+    "NetworkConfig",
+    "RunRecord",
+    "SpikeMonitor",
+    "VoltageMonitor",
+]

@@ -1,0 +1,97 @@
+"""Introspection: decode what each SNN neuron has learned.
+
+PATHFINDER's SNN weights are a pixel matrix per neuron; inverting the
+pixel encoding recovers the delta history a neuron is tuned to — the
+"receptive field" view Diehl & Cook use for MNIST digits, applied to
+address deltas.  Useful for debugging, the examples, and for verifying
+that neuron specialisation actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.pathfinder import PathfinderPrefetcher
+from ..core.pixel import PixelMatrixEncoder
+
+
+@dataclass(frozen=True)
+class ReceptiveField:
+    """What one excitatory neuron responds to.
+
+    Attributes:
+        neuron: Neuron index.
+        deltas: Decoded per-row best delta (the pattern it detects).
+        concentration: Fraction of the neuron's weight mass on its top
+            pixel per row (1.0 = perfectly specialised).
+        theta: Current adaptive-threshold value.
+        labels: Labels currently assigned in the Inference Table.
+    """
+
+    neuron: int
+    deltas: List[int]
+    concentration: float
+    theta: float
+    labels: List[int]
+
+
+def _row_templates(encoder: PixelMatrixEncoder) -> List[np.ndarray]:
+    """Per-row (n_deltas × width) pixel templates, one per delta value.
+
+    Decoding by template correlation is robust to everything the
+    encoder does — enlargement, the middle-delta shift, and the column
+    permutation — because it asks "which delta's *full* pixel set best
+    matches this weight row", not "which single pixel is hottest".
+    """
+    config = encoder.config
+    width = config.delta_range
+    span = 2 * config.max_delta + 1
+    templates = [np.zeros((span, width)) for _ in range(config.history)]
+    for delta in range(-config.max_delta, config.max_delta + 1):
+        # Encode a history of identical deltas; slice out each row.
+        rates = encoder.encode([delta] * config.history)
+        for row in range(config.history):
+            row_rates = rates[row * width:(row + 1) * width]
+            norm = row_rates.sum()
+            templates[row][delta + config.max_delta] = (
+                row_rates / norm if norm else row_rates)
+    return templates
+
+
+def receptive_field(prefetcher: PathfinderPrefetcher,
+                    neuron: int) -> ReceptiveField:
+    """Decode one neuron's learned delta pattern."""
+    encoder = prefetcher.encoder
+    config = prefetcher.config
+    weights = prefetcher.network.weights[:, neuron]
+    width = config.delta_range
+    templates = _row_templates(encoder)
+    deltas: List[int] = []
+    concentrations: List[float] = []
+    for row in range(config.history):
+        row_weights = weights[row * width:(row + 1) * width]
+        total = float(row_weights.sum())
+        scores = templates[row] @ row_weights
+        best = int(np.argmax(scores))
+        deltas.append(best - config.max_delta)
+        concentrations.append(
+            float(scores[best]) / total if total > 0 else 0.0)
+    return ReceptiveField(
+        neuron=neuron,
+        deltas=deltas,
+        concentration=float(np.mean(concentrations)),
+        theta=float(prefetcher.network.exc.theta[neuron]),
+        labels=prefetcher.inference_table.labels(neuron))
+
+
+def specialised_neurons(prefetcher: PathfinderPrefetcher,
+                        min_concentration: float = 0.05) -> List[ReceptiveField]:
+    """Receptive fields of every neuron that has visibly specialised,
+    most concentrated first."""
+    fields = [receptive_field(prefetcher, n)
+              for n in range(prefetcher.config.n_neurons)]
+    fields = [f for f in fields if f.concentration >= min_concentration]
+    return sorted(fields, key=lambda f: -f.concentration)

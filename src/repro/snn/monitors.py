@@ -1,0 +1,59 @@
+"""Recording utilities, mirroring BindsNet's monitor classes.
+
+The paper used BindsNet monitors to observe run-time neuron behaviour
+(Table 2 / Figure 3).  These helpers collect the same series across
+multiple input intervals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .network import RunRecord
+
+
+class SpikeMonitor:
+    """Accumulates per-interval spike counts and winners."""
+
+    def __init__(self) -> None:
+        self.spike_counts: List[np.ndarray] = []
+        self.winners: List[Optional[int]] = []
+        self.first_spike_ticks: List[Optional[int]] = []
+
+    def record(self, record: RunRecord) -> None:
+        """Append one interval's observations."""
+        self.spike_counts.append(record.spike_counts.copy())
+        self.winners.append(record.winner)
+        self.first_spike_ticks.append(record.first_spike_tick)
+
+    @property
+    def intervals(self) -> int:
+        """Number of recorded intervals."""
+        return len(self.winners)
+
+    def total_spikes(self) -> np.ndarray:
+        """Per-neuron spike totals across all recorded intervals."""
+        if not self.spike_counts:
+            return np.zeros(0, dtype=int)
+        return np.sum(self.spike_counts, axis=0)
+
+
+class VoltageMonitor:
+    """Accumulates per-tick excitatory potentials across intervals."""
+
+    def __init__(self) -> None:
+        self._traces: List[np.ndarray] = []
+
+    def record(self, record: RunRecord) -> None:
+        """Append one interval's voltage trace (requires
+        ``present(..., record_voltage=True)``)."""
+        if record.voltage_trace is not None:
+            self._traces.append(record.voltage_trace)
+
+    def trace(self) -> np.ndarray:
+        """Concatenated (total_ticks, n_neurons) potential series."""
+        if not self._traces:
+            return np.zeros((0, 0))
+        return np.concatenate(self._traces, axis=0)

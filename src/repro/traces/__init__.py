@@ -1,0 +1,36 @@
+"""Trace substrate: containers, (de)serialisation, and synthetic workloads.
+
+The paper evaluates on ML-DPC load traces from GAP / SPEC06 / SPEC17 /
+CloudSuite, which are not redistributable.  This package provides both a
+loader for ML-DPC-style text traces and synthetic generators calibrated
+to each benchmark's published delta statistics (paper Tables 5, 7, 8) —
+see ``DESIGN.md`` for the substitution rationale.
+"""
+
+from .trace import load_trace, save_trace
+from .transforms import drop_accesses, interleave_traces, reorder_accesses
+from .synthetic import (
+    DeltaPatternStream,
+    PointerChaseStream,
+    SequentialStream,
+    StreamMixer,
+    TemporalReplayStream,
+)
+from .workloads import WORKLOAD_NAMES, WorkloadSpec, get_workload_spec, make_trace
+
+__all__ = [
+    "load_trace",
+    "save_trace",
+    "drop_accesses",
+    "interleave_traces",
+    "reorder_accesses",
+    "DeltaPatternStream",
+    "PointerChaseStream",
+    "SequentialStream",
+    "StreamMixer",
+    "TemporalReplayStream",
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "get_workload_spec",
+    "make_trace",
+]

@@ -1,0 +1,331 @@
+"""Synthetic access-stream primitives used to build workload generators.
+
+Each *stream* is an infinite iterator of ``(pc, address)`` pairs with a
+characteristic pattern class:
+
+- :class:`SequentialStream` — next-line friendly linear scans.
+- :class:`DeltaPatternStream` — a short repeating within-page delta
+  pattern applied to a succession of *fresh* pages.  Delta prefetchers
+  (PATHFINDER, SPP, BO, Pythia) can learn it; address-correlation
+  prefetchers (SISB) cannot, because addresses never repeat.
+- :class:`TemporalReplayStream` — an irregular address sequence recorded
+  once and replayed verbatim.  SISB-style temporal prefetchers excel
+  here; per-page delta prefetchers see noise.
+- :class:`PointerChaseStream` — uniformly irregular accesses over a heap
+  region; hard for everyone (the paper's mcf-like behaviour).
+
+:class:`StreamMixer` interleaves weighted streams and stamps instruction
+ids with a workload-specific mean gap, producing a :class:`~repro.types.Trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..types import BLOCKS_PER_PAGE, MemoryAccess, Trace, compose_address
+
+PcAddr = Tuple[int, int]
+
+
+class AccessStream:
+    """Base class for infinite (pc, address) generators."""
+
+    def __iter__(self) -> Iterator[PcAddr]:
+        raise NotImplementedError
+
+
+class SequentialStream(AccessStream):
+    """Linear scan: consecutive blocks, crossing page boundaries naturally.
+
+    Args:
+        pc: Program counter to stamp on every access.
+        start_page: First page of the scan region.
+        stride: Block stride (default 1 = next-line).
+        region_pages: Wrap around after this many pages.
+    """
+
+    def __init__(self, pc: int, start_page: int, stride: int = 1,
+                 region_pages: int = 4096):
+        if stride == 0:
+            raise ConfigError("SequentialStream stride must be non-zero")
+        self.pc = pc
+        self.start_page = start_page
+        self.stride = stride
+        self.region_pages = region_pages
+
+    def __iter__(self) -> Iterator[PcAddr]:
+        block = self.start_page * BLOCKS_PER_PAGE
+        limit = (self.start_page + self.region_pages) * BLOCKS_PER_PAGE
+        while True:
+            yield self.pc, block << 6
+            block += self.stride
+            if block >= limit or block < self.start_page * BLOCKS_PER_PAGE:
+                block = self.start_page * BLOCKS_PER_PAGE
+
+
+class DeltaPatternStream(AccessStream):
+    """A repeating within-page delta pattern over a succession of fresh pages.
+
+    Starting from a configurable offset in each page, offsets advance by
+    the pattern's deltas (cycled).  When the next offset would leave the
+    page, the stream moves to a fresh page (never revisited), so no
+    address is ever repeated — only the *delta structure* recurs.
+
+    Args:
+        pc: Program counter for the stream.
+        pattern: The repeating delta pattern (e.g. ``(1, 2, 3)``).
+        first_page: First page of the (large) region the stream walks.
+        start_offset: Offset of the first access in each page.
+        noise: Probability that an individual delta is perturbed by ±1
+            (models OoO reordering / control-flow noise).
+        accesses_per_page: Optional cap on accesses before forcing a page
+            change even if the pattern still fits.
+        seed: RNG seed for the noise process.
+    """
+
+    def __init__(self, pc: int, pattern: Sequence[int], first_page: int,
+                 start_offset: int = 0, noise: float = 0.0,
+                 accesses_per_page: Optional[int] = None, seed: int = 0):
+        if not pattern:
+            raise ConfigError("DeltaPatternStream needs a non-empty pattern")
+        if any(d == 0 for d in pattern):
+            raise ConfigError("delta pattern must not contain zero deltas")
+        self.pc = pc
+        self.pattern = tuple(pattern)
+        self.first_page = first_page
+        self.start_offset = start_offset
+        self.noise = noise
+        self.accesses_per_page = accesses_per_page
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[PcAddr]:
+        rng = np.random.default_rng(self.seed)
+        page = self.first_page
+        while True:
+            offset = self.start_offset
+            count = 0
+            pattern_pos = 0
+            while 0 <= offset < BLOCKS_PER_PAGE:
+                yield self.pc, compose_address(page, offset)
+                count += 1
+                if self.accesses_per_page and count >= self.accesses_per_page:
+                    break
+                delta = self.pattern[pattern_pos % len(self.pattern)]
+                pattern_pos += 1
+                if self.noise and rng.random() < self.noise:
+                    delta += int(rng.integers(-1, 2))
+                    if delta == 0:
+                        delta = 1
+                offset += delta
+            page += 1
+
+
+class InterleavedPatternStream(AccessStream):
+    """Two delta-pattern walkers from *different PCs* sharing pages.
+
+    Models the interference the paper motivates neural prefetching with
+    (§2.3): two instruction streams traverse the same pages with their
+    own delta patterns, randomly interleaved.  A PC-aware prefetcher
+    (PATHFINDER's Training Table is keyed by pc+page) sees two clean
+    streams; a page-keyed delta predictor (SPP's signatures) sees a
+    corrupted mixture.
+
+    Args:
+        pc_a / pc_b: The two program counters.
+        pattern_a / pattern_b: Each walker's repeating delta pattern.
+        first_page: First page of the shared (fresh-page) region.
+        noise: Per-delta perturbation probability, as in
+            :class:`DeltaPatternStream`.
+        seed: RNG seed for interleaving and noise.
+    """
+
+    def __init__(self, pc_a: int, pc_b: int, pattern_a: Sequence[int],
+                 pattern_b: Sequence[int], first_page: int,
+                 noise: float = 0.0, seed: int = 0):
+        if not pattern_a or not pattern_b:
+            raise ConfigError("both patterns must be non-empty")
+        if any(d == 0 for d in tuple(pattern_a) + tuple(pattern_b)):
+            raise ConfigError("delta patterns must not contain zero deltas")
+        self.pc_a = pc_a
+        self.pc_b = pc_b
+        self.pattern_a = tuple(pattern_a)
+        self.pattern_b = tuple(pattern_b)
+        self.first_page = first_page
+        self.noise = noise
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[PcAddr]:
+        rng = np.random.default_rng(self.seed)
+        page = self.first_page
+        while True:
+            # Both walkers start at opposite ends of the same page so
+            # they genuinely interleave without colliding immediately.
+            walkers = [
+                [self.pc_a, 0, 0, self.pattern_a],
+                [self.pc_b, 1, 0, self.pattern_b],
+            ]
+            alive = [True, True]
+            while any(alive):
+                which = int(rng.integers(0, 2))
+                if not alive[which]:
+                    which = 1 - which
+                pc, offset, pos, pattern = walkers[which]
+                yield pc, compose_address(page, offset)
+                delta = pattern[pos % len(pattern)]
+                walkers[which][2] = pos + 1
+                if self.noise and rng.random() < self.noise:
+                    delta += int(rng.integers(-1, 2))
+                    if delta == 0:
+                        delta = 1
+                offset += delta
+                if 0 <= offset < BLOCKS_PER_PAGE:
+                    walkers[which][1] = offset
+                else:
+                    alive[which] = False
+            page += 1
+
+
+class TemporalReplayStream(AccessStream):
+    """An irregular address sequence replayed verbatim, forever.
+
+    The recorded sequence jumps between random pages/offsets so per-page
+    delta state is useless, but because the *exact* sequence repeats, an
+    address-correlating (temporal) prefetcher learns it after one pass.
+
+    Args:
+        pc: Program counter for the stream.
+        length: Number of addresses in the recorded sequence.
+        region_page: Base page of the address region.
+        region_pages: Number of pages addresses are drawn from.
+        run_length: Consecutive-block run emitted at each random
+            location (1 = fully irregular jumps; larger values model
+            sweeps over dense structures that repeat temporally, and
+            keep the stream's *distinct-delta* count low as the paper's
+            Table 8 shows for sphinx/xalan-like workloads).
+        offset_grid: Random offsets are snapped to multiples of this
+            value, collapsing the page-revisit delta vocabulary (the
+            structures real programs replay are aligned objects, not
+            arbitrary bytes); 1 = no snapping.
+        seed: RNG seed used to record the sequence.
+    """
+
+    def __init__(self, pc: int, length: int, region_page: int,
+                 region_pages: int = 512, run_length: int = 1,
+                 offset_grid: int = 1, seed: int = 0):
+        if length < 2:
+            raise ConfigError("TemporalReplayStream length must be >= 2")
+        if run_length < 1:
+            raise ConfigError("run_length must be >= 1")
+        if offset_grid < 1 or offset_grid > BLOCKS_PER_PAGE:
+            raise ConfigError("offset_grid must be in [1, blocks/page]")
+        self.pc = pc
+        rng = np.random.default_rng(seed)
+        self.sequence: List[int] = []
+        while len(self.sequence) < length:
+            page = region_page + int(rng.integers(0, region_pages))
+            offset = int(rng.integers(0, BLOCKS_PER_PAGE))
+            offset -= offset % offset_grid
+            for step in range(run_length):
+                if offset + step >= BLOCKS_PER_PAGE:
+                    break
+                self.sequence.append(compose_address(page, offset + step))
+                if len(self.sequence) >= length:
+                    break
+
+    def __iter__(self) -> Iterator[PcAddr]:
+        while True:
+            for addr in self.sequence:
+                yield self.pc, addr
+
+
+class PointerChaseStream(AccessStream):
+    """Irregular pointer-chase: random walk over a heap with no repetition.
+
+    Every access picks a fresh pseudo-random page and offset, so neither
+    delta structure nor address correlation exists.  A small
+    ``locality`` fraction of accesses stay in the current page with a
+    random delta, which gives delta prefetchers a thin, noisy signal —
+    the paper's mcf-like behaviour.
+
+    Args:
+        pc: Program counter for the stream.
+        region_page: Base page of the heap region.
+        region_pages: Size of the heap region, in pages.
+        locality: Probability of staying within the current page.
+        local_jump_max: Upper bound (exclusive) of the random in-page
+            jump taken on local accesses; larger values raise the
+            distinct-delta diversity (paper Table 8's cc/mcf profile).
+        seed: RNG seed.
+    """
+
+    def __init__(self, pc: int, region_page: int, region_pages: int = 1 << 16,
+                 locality: float = 0.2, local_jump_max: int = 8,
+                 seed: int = 0):
+        if local_jump_max < 2:
+            raise ConfigError("local_jump_max must be >= 2")
+        self.pc = pc
+        self.region_page = region_page
+        self.region_pages = region_pages
+        self.locality = locality
+        self.local_jump_max = local_jump_max
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[PcAddr]:
+        rng = np.random.default_rng(self.seed)
+        page = self.region_page
+        offset = 0
+        while True:
+            if rng.random() < self.locality:
+                offset = int((offset + rng.integers(1, self.local_jump_max))
+                             % BLOCKS_PER_PAGE)
+            else:
+                page = self.region_page + int(rng.integers(0, self.region_pages))
+                offset = int(rng.integers(0, BLOCKS_PER_PAGE))
+            yield self.pc, compose_address(page, offset)
+
+
+class StreamMixer:
+    """Interleave weighted access streams into a finite trace.
+
+    Each emitted access is drawn from one stream chosen with probability
+    proportional to its weight, and instruction ids advance by a
+    geometric gap with the given mean, reproducing each benchmark's
+    instructions-per-load density (paper Table 5).
+
+    Args:
+        streams: ``(stream, weight)`` pairs.
+        mean_instr_gap: Mean instructions between consecutive loads.
+        seed: RNG seed for stream selection and gap sampling.
+    """
+
+    def __init__(self, streams: Sequence[Tuple[AccessStream, float]],
+                 mean_instr_gap: float = 10.0, seed: int = 0):
+        if not streams:
+            raise ConfigError("StreamMixer needs at least one stream")
+        if mean_instr_gap < 1.0:
+            raise ConfigError("mean_instr_gap must be >= 1")
+        self.streams = list(streams)
+        self.mean_instr_gap = mean_instr_gap
+        self.seed = seed
+
+    def generate(self, n_accesses: int, name: str = "synthetic") -> Trace:
+        """Produce a trace of ``n_accesses`` interleaved loads."""
+        rng = np.random.default_rng(self.seed)
+        iters = [iter(s) for s, _ in self.streams]
+        weights = np.array([w for _, w in self.streams], dtype=float)
+        weights = weights / weights.sum()
+        choices = rng.choice(len(iters), size=n_accesses, p=weights)
+        # Geometric gaps with the requested mean (>= 1 instruction apart).
+        p = min(1.0, 1.0 / self.mean_instr_gap)
+        gaps = rng.geometric(p, size=n_accesses)
+        accesses: List[MemoryAccess] = []
+        instr_id = 0
+        for idx, gap in zip(choices, gaps):
+            instr_id += int(gap)
+            pc, addr = next(iters[idx])
+            accesses.append(MemoryAccess(instr_id=instr_id, pc=pc, address=addr))
+        return Trace(name=name, accesses=accesses,
+                     total_instructions=instr_id + 1)

@@ -1,0 +1,78 @@
+"""Trace (de)serialisation in an ML-DPC-style text format.
+
+Each line of a trace file is::
+
+    instr_id, pc, address
+
+with hexadecimal pc/address.  Blank lines and ``#`` comments are
+ignored.  This mirrors the load-trace format consumed by the ChampSim
+fork used in the paper (minus fields the reproduction does not need).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+from ..errors import TraceError
+from ..types import MemoryAccess, Trace, validate_trace
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzip-compressed if it ends in .gz)."""
+    path = Path(path)
+    with _open_text(path, "w") as fh:
+        fh.write(f"# trace: {trace.name}\n")
+        fh.write(f"# total_instructions: {trace.instruction_count}\n")
+        for acc in trace.accesses:
+            fh.write(f"{acc.instr_id}, {acc.pc:#x}, {acc.address:#x}\n")
+
+
+def load_trace(path: Union[str, Path], name: str = "") -> Trace:
+    """Load a trace file written by :func:`save_trace` (or hand-authored).
+
+    Args:
+        path: File to read; ``.gz`` files are decompressed transparently.
+        name: Optional trace name; defaults to metadata in the file or
+            the file stem.
+
+    Raises:
+        TraceError: if any line is malformed or ids are not increasing.
+    """
+    path = Path(path)
+    accesses = []
+    total_instructions = None
+    file_name = None
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("trace:"):
+                    file_name = body.split(":", 1)[1].strip()
+                elif body.startswith("total_instructions:"):
+                    total_instructions = int(body.split(":", 1)[1].strip())
+                continue
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) != 3:
+                raise TraceError(f"{path}:{lineno}: expected 3 fields, got {len(parts)}")
+            try:
+                instr_id = int(parts[0], 0)
+                pc = int(parts[1], 0)
+                address = int(parts[2], 0)
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from exc
+            accesses.append(MemoryAccess(instr_id=instr_id, pc=pc, address=address))
+    trace = Trace(name=name or file_name or path.stem, accesses=accesses,
+                  total_instructions=total_instructions)
+    validate_trace(trace)
+    return trace

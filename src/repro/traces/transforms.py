@@ -1,0 +1,113 @@
+"""Trace transforms modelling the noise sources of paper §2.3.
+
+The paper motivates neural prefetching with tolerance to noise from
+(a) out-of-order execution locally reordering loads and (b) co-running
+threads interleaving their accesses into the shared-LLC stream.  These
+transforms inject exactly those effects into any trace:
+
+- :func:`reorder_accesses` — bounded local shuffling (OoO windows).
+- :func:`interleave_traces` — merge several programs' traces into one
+  shared-LLC access stream, with per-program address-space and PC
+  isolation.
+- :func:`drop_accesses` — random thinning (models filtered/ sampled
+  access streams).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..types import MemoryAccess, Trace
+
+
+def reorder_accesses(trace: Trace, window: int, seed: int = 0,
+                     name: str = "") -> Trace:
+    """Shuffle accesses within consecutive windows of the trace.
+
+    Models out-of-order issue: loads within a ``window``-sized group
+    may retire against the cache in any order, perturbing the delta
+    sequences every table-keyed prefetcher relies on, while leaving the
+    *set* of accesses (and instruction ids, re-sorted) unchanged.
+
+    Args:
+        trace: Source trace.
+        window: Reorder window in accesses (1 = identity).
+        seed: RNG seed.
+        name: New trace name (default: derived).
+    """
+    if window < 1:
+        raise ConfigError("reorder window must be >= 1")
+    rng = np.random.default_rng(seed)
+    accesses: List[MemoryAccess] = []
+    source = trace.accesses
+    for start in range(0, len(source), window):
+        group = list(source[start:start + window])
+        ids = sorted(a.instr_id for a in group)
+        order = rng.permutation(len(group))
+        for instr_id, index in zip(ids, order):
+            original = group[int(index)]
+            accesses.append(MemoryAccess(instr_id=instr_id,
+                                         pc=original.pc,
+                                         address=original.address))
+    return Trace(name=name or f"{trace.name}+reorder{window}",
+                 accesses=accesses,
+                 total_instructions=trace.instruction_count)
+
+
+def interleave_traces(traces: Sequence[Trace], seed: int = 0,
+                      name: str = "") -> Trace:
+    """Merge several programs into one shared-LLC access stream.
+
+    Each input trace is placed in its own address space (high bits) and
+    PC space, then the streams are merged in instruction-id order —
+    the interference pattern a shared-LLC prefetcher actually sees
+    when programs co-run.
+
+    Args:
+        traces: Per-program traces (at least two).
+        seed: Tie-break seed for equal instruction ids.
+        name: New trace name (default: joined).
+    """
+    if len(traces) < 2:
+        raise ConfigError("interleaving needs at least two traces")
+    rng = np.random.default_rng(seed)
+    tagged: List[MemoryAccess] = []
+    for core, trace in enumerate(traces):
+        address_base = core << 44
+        pc_base = core << 32
+        for access in trace:
+            tagged.append(MemoryAccess(
+                instr_id=access.instr_id,
+                pc=access.pc | pc_base,
+                address=access.address | address_base))
+    # Stable merge by instruction id with random tie-breaks, then
+    # re-stamp strictly increasing ids.
+    tie = rng.random(len(tagged))
+    order = sorted(range(len(tagged)),
+                   key=lambda i: (tagged[i].instr_id, tie[i]))
+    accesses = []
+    for new_id, index in enumerate(order, start=1):
+        source = tagged[index]
+        accesses.append(MemoryAccess(instr_id=new_id * 4, pc=source.pc,
+                                     address=source.address))
+    return Trace(name=name or "+".join(t.name for t in traces),
+                 accesses=accesses,
+                 total_instructions=len(accesses) * 4 + 1)
+
+
+def drop_accesses(trace: Trace, fraction: float, seed: int = 0,
+                  name: str = "") -> Trace:
+    """Randomly remove a fraction of accesses (stream thinning)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigError("drop fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(trace)) >= fraction
+    accesses = [a for a, k in zip(trace.accesses, keep) if k]
+    if not accesses:
+        raise ConfigError("drop fraction removed every access")
+    return Trace(name=name or f"{trace.name}-thin{fraction:.2f}",
+                 accesses=accesses,
+                 total_instructions=trace.instruction_count)

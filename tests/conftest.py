@@ -1,0 +1,36 @@
+"""Shared fixtures: tiny traces and configs that keep tests fast."""
+
+import pytest
+
+from repro.core import PathfinderConfig
+from repro.sim.simulator import HierarchyConfig
+from repro.traces import make_trace
+from repro.traces.synthetic import DeltaPatternStream, StreamMixer
+
+
+@pytest.fixture(scope="session")
+def small_hierarchy():
+    """The scaled hierarchy used across the evaluation."""
+    return HierarchyConfig.scaled()
+
+
+@pytest.fixture(scope="session")
+def pure_pattern_trace():
+    """A single repeating {1,2,3} delta pattern on fresh pages."""
+    mixer = StreamMixer(
+        [(DeltaPatternStream(pc=0x400, pattern=(1, 2, 3),
+                             first_page=1000, seed=0), 1.0)],
+        mean_instr_gap=20, seed=0)
+    return mixer.generate(3000, name="pure-pattern")
+
+
+@pytest.fixture(scope="session")
+def cc_trace():
+    """A small cc-5 workload trace."""
+    return make_trace("cc-5", 4000, seed=1)
+
+
+@pytest.fixture()
+def tiny_pf_config():
+    """A PATHFINDER config small enough for per-test SNN construction."""
+    return PathfinderConfig(delta_range=31, n_neurons=10, one_tick=True)

@@ -1,0 +1,16 @@
+"""Shared helpers for building small traces in tests."""
+
+from repro.types import MemoryAccess, Trace
+
+
+def build_trace(addresses, pc=0x400, gap=10, name="t"):
+    """Build a trace from raw byte addresses with uniform instr gaps."""
+    accesses = [MemoryAccess(instr_id=(i + 1) * gap, pc=pc, address=a)
+                for i, a in enumerate(addresses)]
+    return Trace(name=name, accesses=accesses,
+                 total_instructions=len(addresses) * gap + 1)
+
+
+def seq_addresses(n, start_block=1 << 20):
+    """Byte addresses of n consecutive blocks."""
+    return [(start_block + i) << 6 for i in range(n)]

@@ -1,0 +1,61 @@
+"""Tests for the `repro` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_trace_profile(capsys):
+    assert main(["trace", "cc-5", "--profile", "--loads", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "profile of cc-5" in out
+    assert "deltas in (-31,31)" in out
+
+
+def test_trace_save(tmp_path, capsys):
+    out_file = tmp_path / "t.txt"
+    assert main(["trace", "bfs-10", "--out", str(out_file),
+                 "--loads", "500"]) == 0
+    assert out_file.exists()
+    from repro.traces import load_trace
+
+    assert len(load_trace(out_file)) == 500
+
+
+def test_trace_without_action_errors(capsys):
+    assert main(["trace", "cc-5"]) == 2
+
+
+def test_run_command(capsys):
+    assert main(["run", "cc-5", "nextline", "--loads", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "coverage" in out
+
+
+def test_run_rejects_unknown_prefetcher():
+    with pytest.raises(SystemExit):
+        main(["run", "cc-5", "nope"])
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table9"]) == 0
+    out = capsys.readouterr().out
+    assert "Hardware area & power" in out
+
+
+def test_experiment_with_overrides(capsys):
+    assert main(["experiment", "table6", "--loads", "1200",
+                 "--workloads", "cc-5"]) == 0
+    out = capsys.readouterr().out
+    assert "Issued prefetches" in out
+
+
+def test_experiment_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["experiment", "table42"])

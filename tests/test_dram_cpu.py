@@ -1,0 +1,127 @@
+"""Tests for the DRAM model and the timing core."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cpu import CoreConfig, TimingCore
+from repro.sim.dram import DramConfig, DramModel
+
+
+# -- DRAM -------------------------------------------------------------------
+
+def test_dram_config_validation():
+    with pytest.raises(ConfigError):
+        DramConfig(channels=0)
+    with pytest.raises(ConfigError):
+        DramConfig(base_latency=0)
+    with pytest.raises(ConfigError):
+        DramConfig(read_queue_size=0)
+
+
+def test_dram_idle_latency():
+    dram = DramModel(DramConfig(base_latency=100, bank_occupancy=10))
+    assert dram.access(block=0, cycle=50) == 150
+
+
+def test_dram_bank_conflict_serialises():
+    cfg = DramConfig(base_latency=100, bank_occupancy=40)
+    dram = DramModel(cfg)
+    total_banks = cfg.total_banks
+    first = dram.access(block=0, cycle=0)
+    second = dram.access(block=total_banks, cycle=0)  # same bank
+    assert first == 100
+    assert second == 140  # waited for the bank
+
+
+def test_dram_different_banks_parallel():
+    dram = DramModel(DramConfig(base_latency=100, bank_occupancy=40))
+    assert dram.access(block=0, cycle=0) == 100
+    assert dram.access(block=1, cycle=0) == 100
+
+
+def test_dram_queue_backpressure():
+    cfg = DramConfig(base_latency=100, bank_occupancy=1,
+                     read_queue_size=2, channels=1, ranks=64, banks=64)
+    dram = DramModel(cfg)
+    dram.access(block=0, cycle=0)
+    dram.access(block=1, cycle=0)
+    # Queue full: the third request must wait for the oldest completion.
+    third = dram.access(block=2, cycle=0)
+    assert third >= 200
+
+
+def test_dram_average_wait():
+    dram = DramModel(DramConfig(base_latency=100, bank_occupancy=50))
+    dram.access(block=0, cycle=0)
+    dram.access(block=0 + DramConfig().total_banks, cycle=0)
+    assert dram.average_wait == 25.0  # (0 + 50) / 2
+
+
+# -- timing core -------------------------------------------------------------
+
+def test_core_config_validation():
+    with pytest.raises(ConfigError):
+        CoreConfig(width=0)
+    with pytest.raises(ConfigError):
+        CoreConfig(rob_size=0)
+
+
+def test_dispatch_advances_by_width():
+    core = TimingCore(CoreConfig(width=4))
+    assert core.dispatch_load(40) == pytest.approx(10.0)
+    assert core.dispatch_load(80) == pytest.approx(20.0)
+
+
+def test_rob_limits_runahead():
+    core = TimingCore(CoreConfig(width=4, rob_size=100))
+    d1 = core.dispatch_load(10)
+    core.complete_load(10, d1 + 1000)  # long miss
+    # Next load within the ROB window: dispatch unaffected.
+    d2 = core.dispatch_load(50)
+    assert d2 < 1000
+    # A load beyond rob_size instructions must wait for the miss.
+    d3 = core.dispatch_load(10 + 150)
+    assert d3 >= d1 + 1000
+
+
+def test_mlp_overlap_two_misses_cheaper_than_serial():
+    def run(latencies, gap):
+        core = TimingCore(CoreConfig(width=4, rob_size=512))
+        instr = 0
+        for lat in latencies:
+            instr += gap
+            d = core.dispatch_load(instr)
+            core.complete_load(instr, d + lat)
+        return core.finalize(instr + gap)
+
+    overlapped = run([300, 300], gap=4)
+    assert overlapped < 400  # both misses overlap almost fully
+
+
+def test_mshr_admit_limits_outstanding():
+    core = TimingCore(CoreConfig(mshrs=2))
+    assert core.mshr_admit(0.0) == 0.0
+    core.mshr_fill(100.0)
+    core.mshr_fill(200.0)
+    # Third miss must wait for the first to complete.
+    assert core.mshr_admit(0.0) == 100.0
+
+
+def test_mshr_drains_completed():
+    core = TimingCore(CoreConfig(mshrs=1))
+    core.mshr_fill(50.0)
+    assert core.mshr_admit(60.0) == 60.0  # already drained
+
+
+def test_finalize_front_end_bound():
+    core = TimingCore(CoreConfig(width=4))
+    core.dispatch_load(4)
+    core.complete_load(4, 5.0)
+    assert core.finalize(4000) == pytest.approx(1000.0)
+
+
+def test_finalize_memory_bound():
+    core = TimingCore(CoreConfig(width=4))
+    d = core.dispatch_load(4)
+    core.complete_load(4, d + 500)
+    assert core.finalize(8) >= d + 500

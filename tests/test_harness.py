@@ -1,0 +1,177 @@
+"""Tests for the runner, reporting, and experiment registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import (
+    EXPERIMENTS,
+    Evaluation,
+    format_table,
+    geometric_mean,
+    make_prefetcher,
+    run_experiment,
+)
+from repro.harness.reporting import arithmetic_mean
+
+
+# -- reporting ----------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table(["A", "Blong"], [["x", 1.23456], ["yy", 2]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "A" in lines[1] and "Blong" in lines[1]
+    assert "1.235" in text
+    assert set(lines[2]) == {"-"}
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        arithmetic_mean([])
+
+
+# -- runner --------------------------------------------------------------------
+
+def test_make_prefetcher_known_names():
+    for name in ("nextline", "bo", "spp", "sisb", "pythia", "pathfinder",
+                 "pathfinder+nl+sisb"):
+        prefetcher = make_prefetcher(name)
+        assert prefetcher is not make_prefetcher(name)  # fresh instances
+
+
+def test_make_prefetcher_unknown():
+    with pytest.raises(ConfigError):
+        make_prefetcher("nope")
+
+
+def test_evaluation_caches_traces_and_baselines():
+    evaluation = Evaluation(n_accesses=800, seed=1)
+    trace1 = evaluation.trace("cc-5")
+    trace2 = evaluation.trace("cc-5")
+    assert trace1 is trace2
+    base1 = evaluation.baseline("cc-5")
+    base2 = evaluation.baseline("cc-5")
+    assert base1 is base2
+
+
+def test_evaluation_run_produces_consistent_row():
+    evaluation = Evaluation(n_accesses=1200, seed=1)
+    row = evaluation.run("cc-5", "nextline")
+    assert row.workload == "cc-5"
+    assert row.prefetcher == "nextline"
+    assert row.issued > 0
+    assert 0.0 <= row.accuracy <= 1.0
+    assert row.speedup == pytest.approx(
+        row.ipc / evaluation.baseline("cc-5").ipc)
+
+
+def test_evaluation_grid_row_major():
+    evaluation = Evaluation(n_accesses=600, seed=1)
+    rows = evaluation.run_grid(["cc-5", "bfs-10"], ["nextline", "sisb"])
+    assert [(r.workload, r.prefetcher) for r in rows] == [
+        ("cc-5", "nextline"), ("cc-5", "sisb"),
+        ("bfs-10", "nextline"), ("bfs-10", "sisb")]
+
+
+# -- experiments ----------------------------------------------------------------
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2_fig3", "fig4", "table6", "fig5_table7",
+        "fig6_table8", "fig7", "fig8", "fig9", "table9",
+        "ablation_ensemble", "ablation_snn", "noise"}
+
+
+def test_run_experiment_unknown_id():
+    with pytest.raises(ConfigError):
+        run_experiment("table42")
+
+
+def test_table9_experiment():
+    result = run_experiment("table9")
+    assert result.metrics["total_area"] == pytest.approx(0.23, rel=0.05)
+    assert result.format()  # renders
+
+
+def test_table2_fig3_experiment():
+    result = run_experiment("table2_fig3")
+    assert result.metrics["repeat_stability"] == 1.0
+    # Figure 3 voltage series covers three input intervals.
+    assert result.metrics["fig3_ticks_recorded"] >= 3 * 32
+
+
+def test_fig4_experiment_small():
+    result = run_experiment(
+        "fig4", n_accesses=1500,
+        workloads=["cc-5"], prefetchers=("nextline", "sisb", "pathfinder"))
+    assert "speedup:pathfinder" in result.metrics
+    assert len(result.tables) == 3
+
+
+def test_table6_experiment_small():
+    result = run_experiment("table6", n_accesses=1500, workloads=["cc-5"])
+    assert result.metrics["issued:pathfinder"] >= 0
+
+
+def test_fig5_experiment_small():
+    result = run_experiment("fig5_table7", n_accesses=1500,
+                            workloads=["cc-5"], delta_ranges=(31, 127))
+    assert "speedup:D31" in result.metrics
+    assert "speedup:D127" in result.metrics
+
+
+def test_fig8_experiment_small():
+    result = run_experiment("fig8", n_accesses=1500, workloads=["cc-5"],
+                            on_counts=(50,))
+    assert "speedup:on50" in result.metrics
+
+
+def test_experiment_result_to_dict_and_json(tmp_path):
+    result = run_experiment("table9")
+    payload = result.to_dict()
+    assert payload["experiment_id"] == "table9"
+    assert payload["tables"][0]["headers"]
+    assert isinstance(payload["metrics"]["total_area"], float)
+    out = tmp_path / "r.json"
+    result.save_json(out)
+    import json
+
+    loaded = json.loads(out.read_text())
+    assert loaded["metrics"]["total_area"] == payload["metrics"]["total_area"]
+
+
+def test_extension_prefetchers_registered():
+    for name in ("adaptive-ensemble", "pathfinder+coldpage"):
+        prefetcher = make_prefetcher(name)
+        assert prefetcher.process.__call__  # is a prefetcher
+
+
+def test_multi_seed_grid_aggregates():
+    from repro.harness.runner import multi_seed_grid
+
+    aggregates = multi_seed_grid(["cc-5"], ["nextline", "sisb"],
+                                 seeds=(1, 2), n_accesses=1200)
+    assert len(aggregates) == 2
+    nl = next(a for a in aggregates if a.prefetcher == "nextline")
+    assert nl.seeds == 2
+    assert nl.mean_speedup > 0
+    assert nl.std_speedup >= 0.0
+    assert 0.0 <= nl.mean_accuracy <= 1.0
+
+
+def test_multi_seed_grid_requires_seeds():
+    from repro.errors import ConfigError
+    from repro.harness.runner import multi_seed_grid
+
+    with pytest.raises(ConfigError):
+        multi_seed_grid(["cc-5"], ["nextline"], seeds=())

@@ -1,0 +1,76 @@
+"""Tests for the hardware cost model against the paper's anchors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw import (
+    PAPER_TABLE9,
+    HardwareCost,
+    inference_table_cost,
+    pathfinder_cost,
+    snn_cost,
+    training_table_cost,
+)
+
+
+@pytest.mark.parametrize("key,paper", sorted(PAPER_TABLE9.items()))
+def test_snn_cost_matches_table9(key, paper):
+    n_pe, delta_range = key
+    paper_area, paper_power = paper
+    cost = snn_cost(n_pe=n_pe, delta_range=delta_range)
+    assert cost.area_mm2 == pytest.approx(paper_area, rel=0.35)
+    assert cost.power_w == pytest.approx(paper_power, rel=0.35)
+
+
+def test_headline_snn_point_is_tight():
+    """The main 50-PE / range-127 point must match closely (§3.5)."""
+    cost = snn_cost(n_pe=50, delta_range=127)
+    assert cost.area_mm2 == pytest.approx(0.21, rel=0.02)
+    assert cost.power_w == pytest.approx(0.446, rel=0.02)
+
+
+def test_training_table_under_paper_bounds():
+    cost = training_table_cost()
+    assert cost.area_mm2 <= 0.02 * 1.01
+    assert cost.power_w <= 0.011 * 1.01
+
+
+def test_inference_table_anchor():
+    cost = inference_table_cost()
+    assert cost.area_mm2 == pytest.approx(6e-5, rel=0.01)
+    assert cost.power_w == pytest.approx(2e-5, rel=0.01)
+
+
+def test_total_pathfinder_budget():
+    """Abstract: 0.23 mm² and ~0.5 W total."""
+    total = pathfinder_cost()
+    assert total.area_mm2 == pytest.approx(0.23, rel=0.05)
+    assert 0.4 <= total.power_w <= 0.5
+
+
+def test_total_is_under_one_percent_of_ryzen():
+    total = pathfinder_cost()
+    assert total.area_mm2 / 213.0 < 0.01
+    assert total.power_w / 105.0 < 0.01
+
+
+def test_cost_scales_with_structure():
+    small = snn_cost(n_pe=10, delta_range=31)
+    large = snn_cost(n_pe=100, delta_range=127)
+    assert large.area_mm2 > small.area_mm2 * 10
+    assert large.power_w > small.power_w * 10
+
+
+def test_cost_addition():
+    total = HardwareCost(1.0, 2.0) + HardwareCost(0.5, 0.25)
+    assert total.area_mm2 == 1.5
+    assert total.power_w == 2.25
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        snn_cost(n_pe=0)
+    with pytest.raises(ConfigError):
+        training_table_cost(rows=0)
+    with pytest.raises(ConfigError):
+        inference_table_cost(bits=0)

@@ -1,0 +1,75 @@
+"""Tests for receptive-field decoding."""
+
+import pytest
+
+from repro.core import PathfinderConfig, PathfinderPrefetcher
+from repro.prefetchers import generate_prefetches
+from repro.snn.introspection import receptive_field, specialised_neurons
+from repro.types import compose_address
+
+from tests.helpers import build_trace
+
+
+def _trained_prefetcher(pattern=(4, 9, 4), reorder=True):
+    config = PathfinderConfig(one_tick=True, reorder_pixels=reorder)
+    prefetcher = PathfinderPrefetcher(config)
+    addresses = []
+    for page in range(700, 760):
+        offset = 0
+        position = 0
+        while offset < 64:
+            addresses.append(compose_address(page, offset))
+            offset += pattern[position % len(pattern)]
+            position += 1
+    generate_prefetches(prefetcher, build_trace(addresses))
+    return prefetcher
+
+
+def test_receptive_field_shape():
+    prefetcher = _trained_prefetcher()
+    field = receptive_field(prefetcher, 0)
+    assert field.neuron == 0
+    assert len(field.deltas) == 3
+    assert 0.0 <= field.concentration <= 1.0
+
+
+def test_specialised_neurons_detect_trained_pattern():
+    prefetcher = _trained_prefetcher(pattern=(4, 9, 4))
+    fields = specialised_neurons(prefetcher, min_concentration=0.1)
+    assert fields  # someone specialised
+    # Some specialised neuron's decoded pattern uses the trained deltas.
+    trained_values = {4, 9}
+    assert any(set(f.deltas) & trained_values for f in fields[:5])
+
+
+def test_decoding_inverts_reorder_and_shift():
+    """Encode a history, plant it as a neuron's weights, decode it."""
+    import numpy as np
+
+    config = PathfinderConfig(one_tick=True, reorder_pixels=True,
+                              middle_shift=7, enlarge_pixels=False)
+    prefetcher = PathfinderPrefetcher(config)
+    history = [3, -11, 25]
+    rates = prefetcher.encoder.encode(history)
+    prefetcher.network.input_to_exc.w[:, 5] = rates
+    field = receptive_field(prefetcher, 5)
+    assert field.deltas == history
+
+
+def test_labels_included():
+    prefetcher = _trained_prefetcher()
+    table = prefetcher.inference_table
+    for neuron in range(prefetcher.config.n_neurons):
+        if table.labels(neuron):
+            field = receptive_field(prefetcher, neuron)
+            assert field.labels == table.labels(neuron)
+            break
+    else:
+        pytest.skip("no labels assigned in this run")
+
+
+def test_specialisation_ordering():
+    prefetcher = _trained_prefetcher()
+    fields = specialised_neurons(prefetcher, min_concentration=0.0)
+    concentrations = [f.concentration for f in fields]
+    assert concentrations == sorted(concentrations, reverse=True)

@@ -1,0 +1,175 @@
+"""Tests for embeddings, dense layers, softmax/CE, Adam, and k-means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ModelError
+from repro.ml import Adam, Dense, Embedding, cross_entropy, kmeans_1d, softmax
+from repro.ml.cluster import assign_1d
+
+
+# -- softmax / CE --------------------------------------------------------------
+
+def test_softmax_rows_sum_to_one():
+    logits = np.random.default_rng(0).normal(size=(4, 7))
+    probs = softmax(logits)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs > 0).all()
+
+
+def test_softmax_handles_large_logits():
+    probs = softmax(np.array([[1000.0, 0.0]]))
+    assert np.isfinite(probs).all()
+    assert probs[0, 0] == pytest.approx(1.0)
+
+
+def test_cross_entropy_perfect_prediction():
+    probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+    assert cross_entropy(probs, np.array([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_cross_entropy_uniform():
+    probs = np.full((2, 4), 0.25)
+    assert cross_entropy(probs, np.array([0, 3])) == pytest.approx(np.log(4))
+
+
+def test_cross_entropy_shape_validation():
+    with pytest.raises(ModelError):
+        cross_entropy(np.ones(3), np.array([0]))
+
+
+# -- embedding ----------------------------------------------------------------
+
+def test_embedding_lookup_shape():
+    emb = Embedding(10, 4, np.random.default_rng(0))
+    out = emb.forward(np.array([[1, 2], [3, 4]]))
+    assert out.shape == (2, 2, 4)
+    assert np.array_equal(out[0, 0], emb.weight[1])
+
+
+def test_embedding_out_of_range():
+    emb = Embedding(10, 4, np.random.default_rng(0))
+    with pytest.raises(ModelError):
+        emb.forward(np.array([10]))
+
+
+def test_embedding_backward_accumulates_sparse():
+    emb = Embedding(5, 3, np.random.default_rng(0))
+    emb.forward(np.array([1, 1, 2]))
+    emb.backward(np.ones((3, 3)))
+    assert np.allclose(emb.grad[1], 2.0)
+    assert np.allclose(emb.grad[2], 1.0)
+    assert np.allclose(emb.grad[0], 0.0)
+
+
+def test_embedding_backward_requires_forward():
+    emb = Embedding(5, 3)
+    with pytest.raises(ModelError):
+        emb.backward(np.ones((1, 3)))
+
+
+# -- dense ---------------------------------------------------------------------
+
+def test_dense_forward_affine():
+    dense = Dense(3, 2, np.random.default_rng(0))
+    x = np.ones((1, 3))
+    assert np.allclose(dense.forward(x), x @ dense.w + dense.b)
+
+
+def test_dense_backward_gradients_numerically():
+    rng = np.random.default_rng(1)
+    dense = Dense(4, 3, rng)
+    x = rng.normal(size=(2, 4))
+    grad_out = rng.normal(size=(2, 3))
+    dense.forward(x)
+    dx = dense.backward(grad_out)
+
+    eps = 1e-6
+    # Check dw numerically at a few coordinates.
+    for (i, j) in [(0, 0), (2, 1), (3, 2)]:
+        w0 = dense.w[i, j]
+        dense.w[i, j] = w0 + eps
+        up = float((dense.forward(x) * grad_out).sum())
+        dense.w[i, j] = w0 - eps
+        down = float((dense.forward(x) * grad_out).sum())
+        dense.w[i, j] = w0
+        assert dense.dw[i, j] == pytest.approx((up - down) / (2 * eps),
+                                               rel=1e-4)
+    # Check dx numerically.
+    x0 = x.copy()
+    x0[0, 1] += eps
+    up = float((dense.forward(x0) * grad_out).sum())
+    x0[0, 1] -= 2 * eps
+    down = float((dense.forward(x0) * grad_out).sum())
+    assert dx[0, 1] == pytest.approx((up - down) / (2 * eps), rel=1e-4)
+
+
+# -- Adam ------------------------------------------------------------------
+
+def test_adam_reduces_quadratic_loss():
+    dense = Dense(2, 1, np.random.default_rng(0))
+    optimizer = Adam([dense], lr=0.05)
+    x = np.array([[1.0, 2.0], [3.0, -1.0], [0.5, 0.5]])
+    target = np.array([[1.0], [2.0], [0.0]])
+    losses = []
+    for _ in range(200):
+        optimizer.zero_grad()
+        pred = dense.forward(x)
+        loss = float(((pred - target) ** 2).mean())
+        dense.backward(2 * (pred - target) / len(x))
+        optimizer.step()
+        losses.append(loss)
+    assert losses[-1] < losses[0] * 0.01
+
+
+def test_adam_clips_gradients():
+    dense = Dense(2, 1, np.random.default_rng(0))
+    optimizer = Adam([dense], lr=0.1, clip_norm=1e-6)
+    before = dense.w.copy()
+    dense.forward(np.ones((1, 2)))
+    dense.backward(np.full((1, 1), 1e9))
+    optimizer.step()
+    # With a tiny clip norm the step must be bounded.
+    assert np.abs(dense.w - before).max() < 0.2
+
+
+def test_adam_lr_validation():
+    with pytest.raises(ConfigError):
+        Adam([Dense(1, 1)], lr=0.0)
+
+
+# -- k-means -----------------------------------------------------------------
+
+def test_kmeans_separates_obvious_clusters():
+    values = np.concatenate([np.random.default_rng(0).normal(0, 1, 100),
+                             np.random.default_rng(1).normal(100, 1, 100)])
+    centroids, labels = kmeans_1d(values, 2)
+    assert len(centroids) == 2
+    assert abs(centroids[0] - 0) < 5
+    assert abs(centroids[1] - 100) < 5
+    assert (labels[:100] == 0).mean() > 0.95
+
+
+def test_kmeans_k_reduced_for_few_distinct_values():
+    centroids, labels = kmeans_1d(np.array([1.0, 1.0, 2.0]), 6)
+    assert len(centroids) <= 2
+
+
+def test_kmeans_deterministic():
+    values = np.random.default_rng(0).normal(size=200)
+    c1, l1 = kmeans_1d(values, 4, seed=3)
+    c2, l2 = kmeans_1d(values, 4, seed=3)
+    assert np.array_equal(c1, c2)
+    assert np.array_equal(l1, l2)
+
+
+def test_kmeans_validation():
+    with pytest.raises(ConfigError):
+        kmeans_1d(np.array([]), 2)
+    with pytest.raises(ConfigError):
+        kmeans_1d(np.array([1.0]), 0)
+
+
+def test_assign_1d_nearest():
+    centroids = np.array([0.0, 10.0])
+    assert list(assign_1d(np.array([1.0, 9.0, 4.9]), centroids)) == [0, 1, 0]

@@ -1,0 +1,115 @@
+"""Tests for the two multi-degree mechanisms of §3.4.
+
+The paper supports degree > 1 either by (a) reducing lateral inhibition
+so 2-5 excitatory neurons fire per interval, each contributing its
+label, or (b) keeping strict winner-take-all but giving each neuron two
+label slots.  Both paths exist here; (b) is the default configuration.
+"""
+
+import numpy as np
+
+from repro.core import PathfinderConfig, PathfinderPrefetcher
+from repro.prefetchers import generate_prefetches
+from repro.snn import DiehlCookNetwork, NetworkConfig, STDPConfig
+from repro.snn.neurons import LIFConfig
+from repro.types import compose_address
+
+from tests.helpers import build_trace
+
+
+def _network(inhibition_scale):
+    cfg = NetworkConfig(n_input=60, n_neurons=12, timesteps=24,
+                        inhibition_scale=inhibition_scale,
+                        init_density=0.5, seed=2)
+    return DiehlCookNetwork(cfg, stdp=STDPConfig(nu_post=0.3, x_target=0.4,
+                                                 norm=12.0),
+                            exc_lif=LIFConfig(theta_plus=2.0, theta_max=20.0))
+
+
+def _pattern(indices, n=60):
+    rates = np.zeros(n)
+    rates[list(indices)] = 1.0
+    return rates
+
+
+def test_low_inhibition_allows_multiple_firing_neurons():
+    pattern = _pattern(range(0, 12))
+    strict = _network(inhibition_scale=1.0)
+    relaxed = _network(inhibition_scale=0.0)
+    strict_firing = []
+    relaxed_firing = []
+    for _ in range(6):
+        strict_firing.append(int((strict.present(pattern).spike_counts > 0).sum()))
+        relaxed_firing.append(int((relaxed.present(pattern).spike_counts > 0).sum()))
+    # With inhibition disabled, more neurons fire per interval.
+    assert max(relaxed_firing) > max(strict_firing)
+
+
+def test_winners_k_returns_multiple_under_low_inhibition():
+    net = _network(inhibition_scale=0.1)
+    pattern = _pattern(range(0, 12))
+    counts = [len(net.present(pattern).winners(3)) for _ in range(6)]
+    assert max(counts) >= 2
+
+
+def test_two_label_degree_two_covers_conflicting_patterns():
+    """The default mechanism: one winner, two labels, degree 2.
+
+    Two interleaved streams share the history prefix {2, 2, 3} but
+    continue differently (…9 vs …12) — exactly the paper's neuron-17
+    example (§3.4): the identical pixel matrix fires the same neuron,
+    which needs both labels.  The 1-label variant thrashes between
+    them; the 2-label variant holds both and degree 2 issues both.
+    """
+    addresses = []
+    patterns = {0x400: (2, 2, 3, 9), 0x480: (2, 2, 3, 12)}
+    from repro.types import MemoryAccess, Trace
+
+    accesses = []
+    instr = 0
+    walkers = {pc: [500 if pc == 0x400 else 5000, 0, 0]
+               for pc in patterns}
+    for step in range(600):
+        pc = 0x400 if step % 2 == 0 else 0x480
+        page, offset, position = walkers[pc]
+        accesses.append(MemoryAccess(instr_id=instr + 10, pc=pc,
+                                     address=compose_address(page, offset)))
+        instr += 10
+        delta = patterns[pc][position % 4]
+        offset += delta
+        position += 1
+        if offset >= 64:
+            page, offset, position = page + 1, 0, 0
+        walkers[pc] = [page, offset, position]
+    trace = Trace(name="conflict", accesses=accesses,
+                  total_instructions=instr + 1)
+
+    def coverage(config):
+        from repro.sim import simulate
+        from repro.sim.simulator import HierarchyConfig
+
+        hierarchy = HierarchyConfig.scaled()
+        baseline = simulate(trace, config=hierarchy)
+        requests = generate_prefetches(PathfinderPrefetcher(config), trace)
+        return simulate(trace, requests, config=hierarchy).coverage(
+            baseline.llc_misses)
+
+    # Confirmation is disabled to isolate the label-capacity mechanism:
+    # the conflicting next-deltas alternate strictly, so the pending-
+    # confirmation stage would (correctly) refuse both labels.
+    two_labels = coverage(PathfinderConfig(labels_per_neuron=2, degree=2,
+                                           require_confirmation=False))
+    one_label = coverage(PathfinderConfig(labels_per_neuron=1, degree=2,
+                                          require_confirmation=False))
+    assert two_labels > one_label
+
+
+def test_multi_winner_full_tick_prefetcher_runs():
+    config = PathfinderConfig(one_tick=False, inhibition_scale=0.2,
+                              degree=2, labels_per_neuron=1)
+    addresses = [compose_address(page, offset)
+                 for page in range(300, 330)
+                 for offset in range(0, 60, 5)]
+    trace = build_trace(addresses)
+    requests = generate_prefetches(PathfinderPrefetcher(config), trace)
+    assert isinstance(requests, list)  # exercises the multi-winner path

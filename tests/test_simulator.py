@@ -1,0 +1,134 @@
+"""Integration tests for the trace-replay simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimResult, Simulator, simulate
+from repro.sim.simulator import HierarchyConfig
+from repro.types import PrefetchRequest, compose_address
+
+from tests.helpers import build_trace, seq_addresses
+
+
+def test_simulator_single_use():
+    trace = build_trace(seq_addresses(10))
+    sim = Simulator()
+    sim.run(trace)
+    with pytest.raises(SimulationError):
+        sim.run(trace)
+
+
+def test_baseline_counts():
+    trace = build_trace(seq_addresses(100))
+    result = simulate(trace)
+    assert result.loads == 100
+    assert result.llc_misses == 100  # all compulsory misses
+    assert result.pf_issued == 0
+    assert result.instructions == trace.instruction_count
+    assert result.ipc > 0
+
+
+def test_l1_hit_on_rereference():
+    addr = (1 << 20) << 6
+    trace = build_trace([addr, addr, addr])
+    result = simulate(trace)
+    assert result.llc_misses == 1
+    assert result.l1d_hits == 2
+
+
+def test_perfect_prefetching_improves_ipc():
+    addresses = seq_addresses(300)
+    trace = build_trace(addresses)
+    base = simulate(trace)
+    # Prefetch each block 3 accesses ahead of its demand.
+    requests = [PrefetchRequest(trace[i].instr_id, addresses[i + 3])
+                for i in range(len(addresses) - 3)]
+    result = simulate(trace, requests, prefetcher_name="oracle")
+    assert result.ipc > base.ipc
+    assert result.accuracy() > 0.9
+    assert result.coverage(base.llc_misses) > 0.8
+
+
+def test_prefetch_budget_enforced():
+    trace = build_trace(seq_addresses(10))
+    # 5 prefetches on the same trigger: only 2 may be kept.
+    requests = [PrefetchRequest(trace[0].instr_id, (1 << 21 | i) << 6)
+                for i in range(5)]
+    result = simulate(trace, requests)
+    assert result.pf_issued <= 2
+
+
+def test_duplicate_prefetch_dropped():
+    addresses = seq_addresses(10)
+    trace = build_trace(addresses)
+    # Prefetch a block that was already demand-fetched.
+    requests = [PrefetchRequest(trace[5].instr_id, addresses[0])]
+    result = simulate(trace, requests)
+    assert result.pf_issued == 0
+    assert result.extra.get("pf_dropped", 0) == 1
+
+
+def test_useless_prefetch_hurts_nothing_much_but_counts():
+    addresses = seq_addresses(50)
+    trace = build_trace(addresses)
+    requests = [PrefetchRequest(a.instr_id, (1 << 22 | i) << 6)
+                for i, a in enumerate(trace)]
+    result = simulate(trace, requests)
+    assert result.pf_issued == 50
+    assert result.pf_useful == 0
+    assert result.accuracy() == 0.0
+
+
+def test_late_prefetch_counts_useful():
+    addresses = seq_addresses(5)
+    trace = build_trace(addresses, gap=2)  # accesses close together
+    # Prefetch the very next access's block: it will still be in flight.
+    requests = [PrefetchRequest(trace[0].instr_id, addresses[1])]
+    result = simulate(trace, requests)
+    assert result.pf_late == 1
+    assert result.pf_useful >= 1
+
+
+def test_prefetch_into_llc_only():
+    addresses = seq_addresses(3)
+    trace = build_trace([addresses[0], addresses[2]], gap=3000)
+    requests = [PrefetchRequest(trace[0].instr_id, addresses[2])]
+    result = simulate(trace, requests)
+    # The prefetched block must be an LLC hit, not an L1/L2 hit.
+    assert result.llc_hits == 1
+    assert result.l1d_hits == 0 and result.l2_hits == 0
+    assert result.pf_useful == 1
+
+
+def test_unknown_trigger_ignored():
+    trace = build_trace(seq_addresses(5))
+    requests = [PrefetchRequest(999999, (1 << 22) << 6)]
+    result = simulate(trace, requests)
+    assert result.pf_issued == 0
+
+
+def test_scaled_hierarchy_shrinks_caches():
+    scaled = HierarchyConfig.scaled()
+    full = HierarchyConfig()
+    assert scaled.llc.capacity_blocks == full.llc.capacity_blocks // 16
+    assert scaled.llc.latency == full.llc.latency
+
+
+def test_capacity_misses_with_scaled_hierarchy():
+    scaled = HierarchyConfig.scaled()
+    blocks = scaled.llc.capacity_blocks * 2
+    addresses = seq_addresses(blocks) + seq_addresses(blocks)
+    trace = build_trace(addresses)
+    result = simulate(trace, config=scaled)
+    # The second pass must also miss (working set exceeds the LLC).
+    assert result.llc_misses > blocks * 1.5
+
+
+def test_sim_result_metrics_helpers():
+    result = SimResult(trace_name="t", prefetcher_name="p",
+                       instructions=1000, cycles=500.0,
+                       pf_issued=10, pf_useful=5)
+    assert result.ipc == 2.0
+    assert result.accuracy() == 0.5
+    assert result.coverage(20) == 0.25
+    assert result.coverage(0) == 0.0

@@ -1,0 +1,153 @@
+"""Tests for Poisson encoding and LIF neuron groups."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.snn.encoding import poisson_spike_train
+from repro.snn.neurons import (
+    INHIBITORY_LIF,
+    AdaptiveLIFGroup,
+    LIFConfig,
+    LIFGroup,
+)
+
+
+# -- encoding ---------------------------------------------------------------
+
+def test_poisson_shape_and_dtype():
+    rng = np.random.default_rng(0)
+    spikes = poisson_spike_train(np.ones(10), 16, rng)
+    assert spikes.shape == (16, 10)
+    assert spikes.dtype == bool
+
+
+def test_poisson_zero_rate_never_spikes():
+    rng = np.random.default_rng(0)
+    spikes = poisson_spike_train(np.zeros(5), 100, rng)
+    assert not spikes.any()
+
+
+def test_poisson_rate_scales_with_intensity():
+    rng = np.random.default_rng(0)
+    rates = np.array([0.1, 1.0])
+    spikes = poisson_spike_train(rates, 5000, rng, max_probability=0.5)
+    counts = spikes.sum(axis=0)
+    assert counts[1] > counts[0] * 5
+    assert abs(counts[1] / 5000 - 0.5) < 0.05
+
+
+def test_poisson_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigError):
+        poisson_spike_train(np.ones((2, 2)), 4, rng)
+    with pytest.raises(ConfigError):
+        poisson_spike_train(np.ones(3), 0, rng)
+    with pytest.raises(ConfigError):
+        poisson_spike_train(np.array([1.5]), 4, rng)
+    with pytest.raises(ConfigError):
+        poisson_spike_train(np.ones(3), 4, rng, max_probability=0.0)
+
+
+# -- LIF --------------------------------------------------------------------
+
+def test_lif_config_validation():
+    with pytest.raises(ConfigError):
+        LIFConfig(tc_decay=0)
+    with pytest.raises(ConfigError):
+        LIFConfig(refractory=-1)
+    with pytest.raises(ConfigError):
+        LIFConfig(reset=-40.0, threshold=-52.0)
+    with pytest.raises(ConfigError):
+        LIFConfig(theta_max=0.0)
+
+
+def test_lif_threshold_gap():
+    cfg = LIFConfig(rest=-65.0, threshold=-52.0)
+    assert cfg.threshold_gap == pytest.approx(13.0)
+
+
+def test_lif_integrates_and_fires():
+    group = LIFGroup(1, LIFConfig())
+    fired_at = None
+    for tick in range(50):
+        spikes = group.step(np.array([2.0]))
+        if spikes[0]:
+            fired_at = tick
+            break
+    assert fired_at is not None
+    assert group.v[0] == pytest.approx(LIFConfig().reset)
+
+
+def test_lif_leaks_to_rest_without_input():
+    group = LIFGroup(1, LIFConfig())
+    group.v[0] = -55.0
+    for _ in range(1000):
+        group.step(np.zeros(1))
+    assert group.v[0] == pytest.approx(LIFConfig().rest, abs=0.1)
+
+
+def test_lif_refractory_blocks_input():
+    cfg = LIFConfig(refractory=5)
+    group = LIFGroup(1, cfg)
+    # Drive to spike.
+    while not group.step(np.array([5.0]))[0]:
+        pass
+    v_after_spike = group.v[0]
+    group.step(np.array([100.0]))  # refractory: ignored
+    assert group.v[0] < cfg.threshold
+
+
+def test_lif_reset_state():
+    group = LIFGroup(3, LIFConfig())
+    group.step(np.full(3, 5.0))
+    group.reset_state()
+    assert np.allclose(group.v, LIFConfig().rest)
+    assert (group.refractory_left == 0).all()
+
+
+def test_adaptive_threshold_grows_on_spike():
+    group = AdaptiveLIFGroup(1, LIFConfig(theta_plus=2.0))
+    while not group.step(np.array([5.0]))[0]:
+        pass
+    assert group.theta[0] == pytest.approx(2.0)
+
+
+def test_adaptive_threshold_soft_cap():
+    group = AdaptiveLIFGroup(1, LIFConfig(theta_plus=10.0, theta_max=10.0,
+                                          refractory=0))
+    for _ in range(200):
+        group.step(np.array([50.0]))
+    assert group.theta[0] <= 10.0 + 1e-9
+
+
+def test_adaptation_can_be_frozen():
+    group = AdaptiveLIFGroup(1, LIFConfig(theta_plus=2.0))
+    group.adaptation_enabled = False
+    for _ in range(50):
+        group.step(np.array([5.0]))
+    assert group.theta[0] == 0.0
+
+
+def test_adaptive_threshold_raises_firing_bar():
+    cfg = LIFConfig(theta_plus=5.0, refractory=0)
+    group = AdaptiveLIFGroup(1, cfg)
+    ticks_first = 0
+    while not group.step(np.array([2.0]))[0]:
+        ticks_first += 1
+    group.reset_state()
+    ticks_second = 0
+    while not group.step(np.array([2.0]))[0]:
+        ticks_second += 1
+        assert ticks_second < 500
+    assert ticks_second > ticks_first
+
+
+def test_inhibitory_profile_faster():
+    assert INHIBITORY_LIF.tc_decay < LIFConfig().tc_decay
+    assert INHIBITORY_LIF.theta_plus == 0.0
+
+
+def test_group_size_validation():
+    with pytest.raises(ConfigError):
+        LIFGroup(0, LIFConfig())

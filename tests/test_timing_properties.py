@@ -1,0 +1,87 @@
+"""Property-based tests on the timing model and end-to-end monotonicity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import simulate
+from repro.sim.cpu import CoreConfig, TimingCore
+from repro.sim.dram import DramConfig, DramModel
+from repro.sim.simulator import HierarchyConfig
+from repro.types import PrefetchRequest
+
+from tests.helpers import build_trace, seq_addresses
+
+
+@settings(max_examples=40, deadline=None)
+@given(gaps=st.lists(st.integers(min_value=1, max_value=100),
+                     min_size=1, max_size=50))
+def test_dispatch_cycles_monotone(gaps):
+    core = TimingCore(CoreConfig())
+    instr = 0
+    previous = -1.0
+    for gap in gaps:
+        instr += gap
+        cycle = core.dispatch_load(instr)
+        assert cycle >= previous
+        previous = cycle
+        core.complete_load(instr, cycle + 10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(gaps=st.lists(st.integers(min_value=1, max_value=50),
+                     min_size=1, max_size=40),
+       latency=st.integers(min_value=1, max_value=500))
+def test_finalize_at_least_front_end_bound(gaps, latency):
+    core = TimingCore(CoreConfig(width=4))
+    instr = 0
+    for gap in gaps:
+        instr += gap
+        cycle = core.dispatch_load(instr)
+        core.complete_load(instr, cycle + latency)
+    total = core.finalize(instr)
+    assert total >= instr / 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                       min_size=1, max_size=60))
+def test_dram_completion_after_issue(blocks):
+    dram = DramModel(DramConfig())
+    cycle = 0
+    for block in blocks:
+        completion = dram.access(block, cycle)
+        assert completion >= cycle + DramConfig().base_latency
+        cycle += 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_useful_prefetches_never_hurt_ipc_much(seed):
+    """Prefetching exactly the future demand stream must not lower IPC
+    beyond timing-model noise (and usually raises it)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    blocks = (1 << 20) + np.cumsum(rng.integers(1, 5, size=400))
+    addresses = [int(b) << 6 for b in blocks]
+    trace = build_trace(addresses, gap=8)
+    hierarchy = HierarchyConfig.scaled()
+    baseline = simulate(trace, config=hierarchy)
+    requests = [PrefetchRequest(trace[i].instr_id, addresses[i + 4])
+                for i in range(len(addresses) - 4)]
+    result = simulate(trace, requests, config=hierarchy)
+    assert result.ipc >= baseline.ipc * 0.98
+
+
+@settings(max_examples=15, deadline=None)
+@given(extra_latency=st.integers(min_value=0, max_value=300))
+def test_ipc_monotone_in_dram_latency(extra_latency):
+    """Raising DRAM latency must never raise IPC."""
+    trace = build_trace(seq_addresses(500), gap=6)
+    base_cfg = HierarchyConfig.scaled()
+    slow_cfg = HierarchyConfig(
+        l1d=base_cfg.l1d, l2=base_cfg.l2, llc=base_cfg.llc,
+        dram=DramConfig(base_latency=150 + extra_latency))
+    fast = simulate(trace, config=base_cfg)
+    slow = simulate(trace, config=slow_cfg)
+    assert slow.ipc <= fast.ipc + 1e-9

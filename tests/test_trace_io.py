@@ -1,0 +1,67 @@
+"""Trace (de)serialisation tests."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import load_trace, save_trace
+from repro.types import MemoryAccess, Trace
+
+
+def _sample_trace():
+    accesses = [MemoryAccess(10 * (i + 1), 0x400 + i, i * 64)
+                for i in range(20)]
+    return Trace(name="sample", accesses=accesses, total_instructions=500)
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = _sample_trace()
+    path = tmp_path / "trace.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == "sample"
+    assert loaded.instruction_count == 500
+    assert loaded.accesses == trace.accesses
+
+
+def test_save_load_gzip_roundtrip(tmp_path):
+    trace = _sample_trace()
+    path = tmp_path / "trace.txt.gz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.accesses == trace.accesses
+
+
+def test_load_name_override(tmp_path):
+    path = tmp_path / "trace.txt"
+    save_trace(_sample_trace(), path)
+    assert load_trace(path, name="other").name == "other"
+
+
+def test_load_hand_authored(tmp_path):
+    path = tmp_path / "hand.txt"
+    path.write_text("# comment\n1, 0x400, 0x1000\n\n2, 0x404, 0x1040\n")
+    trace = load_trace(path)
+    assert len(trace) == 2
+    assert trace[0].pc == 0x400
+    assert trace[1].address == 0x1040
+
+
+def test_load_rejects_malformed_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1, 0x400\n")
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_load_rejects_non_numeric(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1, 0x400, zzz\n")
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_load_rejects_nonmonotonic_ids(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("5, 0x400, 0x1000\n5, 0x400, 0x1040\n")
+    with pytest.raises(TraceError):
+        load_trace(path)

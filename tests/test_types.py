@@ -1,0 +1,120 @@
+"""Unit tests for address arithmetic and trace containers."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.types import (
+    BLOCKS_PER_PAGE,
+    MAX_DELTA,
+    MemoryAccess,
+    PrefetchRequest,
+    Trace,
+    block_address,
+    block_of,
+    compose_address,
+    deltas_of,
+    page_of,
+    page_offset,
+    validate_trace,
+)
+
+
+def test_block_and_page_decomposition():
+    address = 0x12345678
+    assert block_of(address) == address >> 6
+    assert page_of(address) == address >> 12
+    assert 0 <= page_offset(address) < BLOCKS_PER_PAGE
+    assert block_address(address) % 64 == 0
+    assert block_address(address) <= address < block_address(address) + 64
+
+
+def test_compose_address_roundtrip():
+    for page in (0, 1, 12345):
+        for offset in (0, 1, 63):
+            address = compose_address(page, offset)
+            assert page_of(address) == page
+            assert page_offset(address) == offset
+
+
+def test_compose_address_rejects_bad_offset():
+    with pytest.raises(ValueError):
+        compose_address(1, 64)
+    with pytest.raises(ValueError):
+        compose_address(1, -1)
+
+
+def test_memory_access_properties():
+    acc = MemoryAccess(instr_id=10, pc=0x400, address=compose_address(5, 7))
+    assert acc.page == 5
+    assert acc.offset == 7
+    assert acc.block == (5 << 6) | 7
+
+
+def test_prefetch_request_block():
+    req = PrefetchRequest(trigger_instr_id=1, address=0x1000)
+    assert req.block == 0x1000 >> 6
+
+
+def test_trace_len_iter_getitem():
+    accesses = [MemoryAccess(i + 1, 0x4, i * 64) for i in range(5)]
+    trace = Trace(name="t", accesses=accesses)
+    assert len(trace) == 5
+    assert list(trace)[2] is trace[2]
+    assert trace.instruction_count == accesses[-1].instr_id + 1
+
+
+def test_trace_explicit_instruction_count():
+    trace = Trace(name="t", accesses=[MemoryAccess(1, 0, 0)],
+                  total_instructions=99)
+    assert trace.instruction_count == 99
+
+
+def test_trace_head():
+    accesses = [MemoryAccess(i + 1, 0x4, i * 64) for i in range(5)]
+    trace = Trace(name="t", accesses=accesses)
+    head = trace.head(2)
+    assert len(head) == 2
+    assert head.instruction_count == accesses[1].instr_id + 1
+
+
+def test_deltas_within_page_per_stream():
+    # Two interleaved streams on the same page with different PCs must
+    # not contaminate each other's deltas.
+    accesses = [
+        MemoryAccess(1, 0xA, compose_address(1, 0)),
+        MemoryAccess(2, 0xB, compose_address(1, 10)),
+        MemoryAccess(3, 0xA, compose_address(1, 2)),
+        MemoryAccess(4, 0xB, compose_address(1, 13)),
+    ]
+    trace = Trace(name="t", accesses=accesses)
+    assert sorted(trace.deltas_within_page()) == [2, 3]
+
+
+def test_deltas_within_page_skips_zero_and_out_of_range():
+    accesses = [
+        MemoryAccess(1, 0xA, compose_address(1, 5)),
+        MemoryAccess(2, 0xA, compose_address(1, 5)),   # zero delta
+        MemoryAccess(3, 0xA, compose_address(2, 0)),   # page change
+        MemoryAccess(4, 0xA, compose_address(2, 4)),
+    ]
+    trace = Trace(name="t", accesses=accesses)
+    assert trace.deltas_within_page() == [4]
+
+
+def test_validate_trace_rejects_empty_and_nonmonotonic():
+    with pytest.raises(TraceError):
+        validate_trace(Trace(name="empty"))
+    bad = Trace(name="bad", accesses=[MemoryAccess(5, 0, 0),
+                                      MemoryAccess(5, 0, 64)])
+    with pytest.raises(TraceError):
+        validate_trace(bad)
+
+
+def test_deltas_of():
+    assert deltas_of([1, 3, 6, 4]) == (2, 3, -2)
+    assert deltas_of([7]) == ()
+
+
+def test_max_delta_constant():
+    assert MAX_DELTA == 63
+    assert BLOCKS_PER_PAGE == 64
