@@ -23,6 +23,7 @@ paper-vs-measured results.
 """
 
 from .core import PathfinderConfig, PathfinderPrefetcher
+from .obs import Observability
 from .sim import SimResult, simulate
 from .sim.simulator import HierarchyConfig
 from .traces import WORKLOAD_NAMES, make_trace
@@ -31,6 +32,7 @@ from .types import MemoryAccess, PrefetchRequest, Trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "Observability",
     "PathfinderConfig",
     "PathfinderPrefetcher",
     "SimResult",

@@ -1,23 +1,32 @@
 """Command-line interface for the PATHFINDER reproduction.
 
-Three subcommands, installed as the ``repro`` console script::
+Four subcommands, installed as the ``repro`` console script::
 
     repro trace <workload> --out trace.txt [--loads N] [--seed S]
         Generate a calibrated synthetic workload trace (or --profile an
         existing/new trace instead of saving it).
 
     repro run <workload> <prefetcher> [--loads N] [--seed S]
+              [--budget B] [--hierarchy {scaled,full}]
+              [--events-out e.jsonl] [--metrics-out m.json]
         Run one prefetcher on one workload and print IPC / accuracy /
-        coverage against the no-prefetch baseline.
+        coverage against the no-prefetch baseline, optionally streaming
+        structured lifecycle events and a metrics snapshot to files.
 
     repro experiment <id> [--loads N] [--workloads a,b,...]
+              [--events-out e.jsonl] [--metrics-out m.json]
         Regenerate one of the paper's tables/figures (see
         ``repro.harness.EXPERIMENTS`` for ids).
+
+    repro report <events.jsonl>
+        Aggregate a ``--events-out`` file into human-readable tables
+        (run summaries, prefetch lifecycle funnel, span timings).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,7 +36,10 @@ from .harness import (
     PREFETCHER_FACTORIES,
     format_table,
     run_experiment,
+    summarize_events,
 )
+from .obs import JsonlSink, Observability, Profiler, Tracer, read_events
+from .sim.simulator import HierarchyConfig
 from .traces import WORKLOAD_NAMES, make_trace
 from .traces.trace import save_trace
 
@@ -64,10 +76,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
+    """Build an Observability bundle when any output flag asks for one."""
+    peak_memory = getattr(args, "peak_memory", False)
+    if not (args.events_out or args.metrics_out or peak_memory):
+        return None
+    sink = JsonlSink(args.events_out) if args.events_out else None
+    return Observability(tracer=Tracer(sink),
+                         profiler=Profiler(capture_memory=peak_memory))
+
+
+def _write_metrics(obs: Observability, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obs.snapshot(), fh, indent=2, default=float)
+        fh.write("\n")
+    print(f"\n[metrics snapshot written to {path}]")
+
+
+def _select_hierarchy(name: str) -> HierarchyConfig:
+    return HierarchyConfig() if name == "full" else HierarchyConfig.scaled()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    evaluation = Evaluation(n_accesses=args.loads, seed=args.seed)
-    row = evaluation.run(args.workload, args.prefetcher)
-    baseline = evaluation.baseline(args.workload)
+    obs = _make_obs(args)
+    evaluation = Evaluation(n_accesses=args.loads, seed=args.seed,
+                            hierarchy=_select_hierarchy(args.hierarchy),
+                            budget=args.budget, obs=obs)
+    try:
+        if obs is not None and obs.profiler.capture_memory:
+            with obs.profiler.memory():
+                row = evaluation.run(args.workload, args.prefetcher)
+        else:
+            row = evaluation.run(args.workload, args.prefetcher)
+        baseline = evaluation.baseline(args.workload)
+    finally:
+        if obs is not None:
+            obs.close()
+    dropped = int(row.result.extra.get("pf_dropped", 0))
     rows = [
         ["baseline IPC", f"{baseline.ipc:.3f}"],
         ["prefetch IPC", f"{row.ipc:.3f}"],
@@ -76,11 +121,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["coverage", f"{row.coverage:.3f}"],
         ["issued", row.issued],
         ["useful", row.useful],
+        ["late", row.result.pf_late],
+        ["dropped", dropped],
         ["baseline LLC misses", row.baseline_misses],
+        ["prefetch-gen time", f"{row.timings.get('prefetch_file_s', 0.0):.3f}s"],
+        ["replay time", f"{row.timings.get('replay_s', 0.0):.3f}s"],
     ]
+    if obs is not None and obs.profiler.peak_memory_bytes is not None:
+        rows.append(["peak memory",
+                     f"{obs.profiler.peak_memory_bytes / 1e6:.1f} MB"])
     print(format_table(["metric", "value"], rows,
                        title=f"{args.prefetcher} on {args.workload} "
-                             f"({args.loads} loads, seed {args.seed})"))
+                             f"({args.loads} loads, seed {args.seed}, "
+                             f"budget {args.budget}, "
+                             f"{args.hierarchy} hierarchy)"))
+    if args.events_out:
+        print(f"\n[events written to {args.events_out}]")
+    if obs is not None and args.metrics_out:
+        _write_metrics(obs, args.metrics_out)
     return 0
 
 
@@ -93,12 +151,54 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.experiment in ("table9", "table2_fig3"):
         kwargs.pop("n_accesses", None)
         kwargs.pop("workloads", None)
-    result = run_experiment(args.experiment, **kwargs)
+    obs = _make_obs(args)
+    if obs is not None:
+        try:
+            with obs.profiler.phase("experiment"), \
+                    obs.tracer.span(f"experiment:{args.experiment}"):
+                result = run_experiment(args.experiment, **kwargs)
+            for key, value in result.metrics.items():
+                obs.tracer.emit("experiment.metric",
+                                experiment=args.experiment,
+                                key=key, value=value)
+                obs.registry.gauge("experiment.metric",
+                                   experiment=args.experiment,
+                                   key=key).set(value)
+        finally:
+            obs.close()
+    else:
+        result = run_experiment(args.experiment, **kwargs)
     print(result.format())
     if args.json:
         result.save_json(args.json)
         print(f"\n[metrics written to {args.json}]")
+    if args.events_out:
+        print(f"\n[events written to {args.events_out}]")
+    if obs is not None and args.metrics_out:
+        _write_metrics(obs, args.metrics_out)
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if not events:
+        print(f"{args.events}: no events")
+        return 2
+    blocks = [format_table(headers, rows, title=title)
+              for title, headers, rows in summarize_events(events)]
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--events-out", metavar="FILE",
+                        help="stream structured JSONL events to FILE")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write a JSON metrics/profile snapshot to FILE")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("prefetcher", choices=sorted(PREFETCHER_FACTORIES))
     p_run.add_argument("--loads", type=int, default=20_000)
     p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--budget", type=int, default=2,
+                       help="prefetches kept per triggering access")
+    p_run.add_argument("--hierarchy", choices=("scaled", "full"),
+                       default="scaled",
+                       help="scaled (default) or full paper Table-3 caches")
+    p_run.add_argument("--peak-memory", action="store_true",
+                       help="capture tracemalloc peak memory for the run")
+    _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiment",
@@ -131,7 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workloads",
                        help="comma-separated workload subset")
     p_exp.add_argument("--json", help="also write results to a JSON file")
+    _add_obs_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_rep = sub.add_parser("report",
+                           help="summarize an --events-out JSONL file")
+    p_rep.add_argument("events", help="path to an events.jsonl file")
+    p_rep.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..prefetchers.base import Prefetcher
+from ..snn.monitors import SpikeMonitor
 from ..snn.network import DiehlCookNetwork, NetworkConfig, RunRecord
 from ..snn.neurons import LIFConfig
 from ..snn.stdp import STDPConfig
@@ -53,12 +54,17 @@ class PathfinderPrefetcher(Prefetcher):
             require_confirmation=self.config.require_confirmation)
         self.accesses_seen = 0
         self.snn_queries = 0
+        self.stdp_updates = 0
         self.prefetches_emitted = 0
         # Table 1 instrumentation (full-interval mode only): how often
         # the highest-potential neuron after the first tick matches the
         # interval's most-firing neuron.
         self.first_tick_matches = 0
         self.first_tick_total = 0
+        # Armed by attach_observability(): the SpikeMonitor bridge that
+        # feeds SNN telemetry into the metrics registry.
+        self.monitor: Optional[SpikeMonitor] = None
+        self._obs = None
 
     def _build_network(self) -> DiehlCookNetwork:
         cfg = self.config
@@ -79,6 +85,56 @@ class PathfinderPrefetcher(Prefetcher):
             theta_max=cfg.theta_max,
             tc_theta_decay=cfg.tc_theta_decay)
         return DiehlCookNetwork(net_cfg, stdp=stdp, exc_lif=lif)
+
+    # -- observability -------------------------------------------------------
+
+    def attach_observability(self, obs) -> None:
+        """Arm SNN telemetry collection for this run.
+
+        When the bundle is enabled, every SNN query's
+        :class:`~repro.snn.network.RunRecord` is recorded into a
+        :class:`~repro.snn.monitors.SpikeMonitor` (the paper's own
+        observation mechanism, Table 2 / Figure 3) rather than a
+        parallel bookkeeping structure; :meth:`publish_telemetry`
+        summarises it into the registry afterwards.
+        """
+        if obs is None or not obs.enabled:
+            self._obs = None
+            return
+        self._obs = obs
+        if self.monitor is None:
+            self.monitor = SpikeMonitor()
+
+    @property
+    def weight_saturation(self) -> float:
+        """Fraction of plastic weights within 1% of ``w_max``."""
+        w = self.network.weights
+        if w.size == 0:
+            return 0.0
+        return float(np.mean(w >= 0.99 * self.config.w_max))
+
+    def publish_telemetry(self) -> None:
+        """Summarise the attached monitor into the metrics registry."""
+        if self._obs is None or self.monitor is None:
+            return
+        scope = self._obs.registry.scope(component="snn",
+                                         prefetcher=self.name)
+        scope.counter("snn.queries").inc(self.snn_queries)
+        scope.counter("snn.stdp_updates").inc(self.stdp_updates)
+        spikes_per_interval = scope.histogram(
+            "snn.spikes_per_interval",
+            bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128))
+        for counts in self.monitor.spike_counts:
+            spikes_per_interval.observe(int(counts.sum()))
+        total_spikes = int(self.monitor.total_spikes().sum())
+        scope.counter("snn.spikes").inc(total_spikes)
+        scope.gauge("snn.weight_saturation").set(self.weight_saturation)
+        scope.gauge("snn.intervals").set(self.monitor.intervals)
+        self._obs.tracer.emit(
+            "snn.summary", prefetcher=self.name, queries=self.snn_queries,
+            stdp_updates=self.stdp_updates, spikes=total_spikes,
+            intervals=self.monitor.intervals,
+            weight_saturation=self.weight_saturation)
 
     # -- periodic STDP gating (paper Figure 8) ------------------------------
 
@@ -151,9 +207,16 @@ class PathfinderPrefetcher(Prefetcher):
         return addresses
 
     def _run_network(self, rates: np.ndarray, learn: bool) -> RunRecord:
+        if learn:
+            self.stdp_updates += 1
         if self.config.one_tick:
-            return self.network.present_one_tick(rates, learn=learn)
+            record = self.network.present_one_tick(rates, learn=learn)
+            if self.monitor is not None:
+                self.monitor.record(record)
+            return record
         record = self.network.present(rates, learn=learn)
+        if self.monitor is not None:
+            self.monitor.record(record)
         if record.winner is not None:
             # Table 1 statistic: would the 1-tick rule (highest potential
             # after the first tick, normalised by each neuron's effective
@@ -180,6 +243,9 @@ class PathfinderPrefetcher(Prefetcher):
         self.inference_table.reset()
         self.accesses_seen = 0
         self.snn_queries = 0
+        self.stdp_updates = 0
         self.prefetches_emitted = 0
         self.first_tick_matches = 0
         self.first_tick_total = 0
+        if self.monitor is not None:
+            self.monitor = SpikeMonitor()

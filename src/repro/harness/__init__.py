@@ -17,7 +17,7 @@ from .runner import (
     multi_seed_grid,
     run_prefetcher,
 )
-from .reporting import format_table, geometric_mean
+from .reporting import format_table, geometric_mean, summarize_events
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "run_prefetcher",
     "format_table",
     "geometric_mean",
+    "summarize_events",
     "EXPERIMENTS",
     "ExperimentResult",
     "run_experiment",

@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Union
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 Cell = Union[str, int, float]
+
+#: (title, headers, rows) — the same shape experiment tables use.
+EventTable = Tuple[str, Sequence[str], List[Sequence[Cell]]]
 
 
 def _render(cell: Cell) -> str:
@@ -60,3 +65,79 @@ def arithmetic_mean(values: Iterable[float]) -> float:
     if not values:
         raise ValueError("arithmetic_mean of empty sequence")
     return sum(values) / len(values)
+
+
+#: Prefetch-lifecycle event names in funnel order (see
+#: ``docs/architecture.md`` § Observability for the schema).
+PF_LIFECYCLE_EVENTS = ("pf.issued", "pf.fill", "pf.useful", "pf.late",
+                       "pf.dropped", "pf.evicted_unused")
+
+
+def summarize_events(events: Iterable[Dict]) -> List[EventTable]:
+    """Aggregate a structured-event stream into report tables.
+
+    Consumes the dicts produced by :class:`repro.obs.Tracer` (e.g. a
+    ``--events-out`` JSONL file re-read with
+    :func:`repro.obs.read_events`) and returns (title, headers, rows)
+    tables ready for :func:`format_table`:
+
+    - per-run summaries from ``run.begin``/``run.end`` pairs,
+    - the prefetch lifecycle funnel (issued → fill → useful/late/
+      dropped/evicted-unused), where "useful (total)" = ``pf.useful``
+      + ``pf.late`` and matches ``SimResult.pf_useful``,
+    - span wall-clock totals,
+    - SNN summaries, when present.
+    """
+    events = list(events)
+    type_counts = TallyCounter(str(e.get("event", "?")) for e in events)
+    tables: List[EventTable] = []
+
+    runs = [e for e in events if e.get("event") == "run.end"]
+    if runs:
+        rows: List[Sequence[Cell]] = [
+            [e.get("trace", "?"), e.get("prefetcher", "?"),
+             e.get("ipc", 0.0), int(e.get("pf_issued", 0)),
+             int(e.get("pf_useful", 0)), int(e.get("pf_late", 0)),
+             int(e.get("pf_dropped", 0)), int(e.get("llc_misses", 0))]
+            for e in runs]
+        tables.append(("Simulation runs",
+                       ["trace", "prefetcher", "IPC", "issued", "useful",
+                        "late", "dropped", "LLC misses"], rows))
+
+    if runs or any(type_counts.get(name) for name in PF_LIFECYCLE_EVENTS):
+        lifecycle_rows: List[Sequence[Cell]] = [
+            [name, type_counts.get(name, 0)] for name in PF_LIFECYCLE_EVENTS]
+        useful_total = (type_counts.get("pf.useful", 0)
+                        + type_counts.get("pf.late", 0))
+        lifecycle_rows.append(["useful (total = useful + late)",
+                               useful_total])
+        tables.append(("Prefetch lifecycle", ["stage", "events"],
+                       lifecycle_rows))
+
+    spans: Dict[str, List[float]] = defaultdict(list)
+    for e in events:
+        if e.get("event") == "span":
+            spans[str(e.get("name", "?"))].append(float(e.get("wall_s", 0.0)))
+    if spans:
+        rows = [[name, len(walls), sum(walls), max(walls)]
+                for name, walls in sorted(spans.items())]
+        tables.append(("Span timings",
+                       ["span", "calls", "total s", "max s"], rows))
+
+    snn = [e for e in events if e.get("event") == "snn.summary"]
+    if snn:
+        rows = [[e.get("prefetcher", "?"), int(e.get("queries", 0)),
+                 int(e.get("stdp_updates", 0)), int(e.get("spikes", 0)),
+                 float(e.get("weight_saturation", 0.0))]
+                for e in snn]
+        tables.append(("SNN telemetry",
+                       ["prefetcher", "queries", "STDP updates", "spikes",
+                        "weight saturation"], rows))
+
+    other = sorted((name, count) for name, count in type_counts.items()
+                   if name not in PF_LIFECYCLE_EVENTS
+                   and name not in ("span", "snn.summary"))
+    rows = [[name, count] for name, count in other]
+    rows.append(["TOTAL (all events)", len(events)])
+    tables.append(("Event counts", ["event", "count"], rows))
+    return tables

@@ -8,11 +8,14 @@ coverage against a no-prefetch baseline run of the same trace.
 
 from __future__ import annotations
 
+import statistics
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core import PathfinderPrefetcher
 from ..errors import ConfigError
+from ..obs import Observability
 from ..prefetchers import (
     AdaptiveEnsemblePrefetcher,
     BestOffsetPrefetcher,
@@ -110,17 +113,37 @@ class EvalRow:
     useful: int
     baseline_misses: int
     result: SimResult
+    #: Wall-clock breakdown of this row's phases (seconds), e.g.
+    #: ``{"prefetch_file_s": ..., "replay_s": ...}``.
+    timings: Dict[str, float] = field(default_factory=dict)
 
 
 def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
                    baseline: SimResult,
                    hierarchy: Optional[HierarchyConfig] = None,
-                   budget: int = 2) -> EvalRow:
-    """Generate this prefetcher's prefetch file and replay it."""
+                   budget: int = 2,
+                   obs: Optional[Observability] = None) -> EvalRow:
+    """Generate this prefetcher's prefetch file and replay it.
+
+    With an enabled ``obs`` bundle, the two phases are profiled
+    (``prefetch_file`` / ``replay``), the prefetcher's internal
+    telemetry is published, and the simulator emits lifecycle events;
+    the per-phase wall times land in :attr:`EvalRow.timings` either way.
+    """
+    obs = obs if obs is not None else Observability.disabled()
     hierarchy = hierarchy or default_hierarchy()
-    requests = generate_prefetches(prefetcher, trace, budget=budget)
-    result = simulate(trace, requests, config=hierarchy,
-                      prefetcher_name=prefetcher.name)
+    prefetcher.attach_observability(obs)
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    with obs.profiler.phase("prefetch_file"):
+        requests = generate_prefetches(prefetcher, trace, budget=budget)
+    timings["prefetch_file_s"] = time.perf_counter() - start
+    prefetcher.publish_telemetry()
+    start = time.perf_counter()
+    with obs.profiler.phase("replay"):
+        result = simulate(trace, requests, config=hierarchy,
+                          prefetcher_name=prefetcher.name, obs=obs)
+    timings["replay_s"] = time.perf_counter() - start
     return EvalRow(
         workload=trace.name,
         prefetcher=prefetcher.name,
@@ -131,7 +154,8 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
         issued=result.pf_issued,
         useful=result.pf_useful,
         baseline_misses=baseline.llc_misses,
-        result=result)
+        result=result,
+        timings=timings)
 
 
 @dataclass
@@ -147,22 +171,33 @@ class Evaluation:
     seed: int = 1
     hierarchy: HierarchyConfig = field(default_factory=default_hierarchy)
     budget: int = 2
+    #: Optional observability bundle threaded through trace generation,
+    #: baseline replay, and every prefetcher run.
+    obs: Optional[Observability] = None
     _traces: Dict[str, Trace] = field(default_factory=dict)
     _baselines: Dict[str, SimResult] = field(default_factory=dict)
+
+    def _obs(self) -> Observability:
+        if self.obs is None:
+            self.obs = Observability.disabled()
+        return self.obs
 
     def trace(self, workload: str) -> Trace:
         """The cached trace for a workload (generated on first use)."""
         if workload not in self._traces:
-            self._traces[workload] = make_trace(
-                workload, self.n_accesses, seed=self.seed)
+            with self._obs().profiler.phase("trace_gen"):
+                self._traces[workload] = make_trace(
+                    workload, self.n_accesses, seed=self.seed)
         return self._traces[workload]
 
     def baseline(self, workload: str) -> SimResult:
         """The cached no-prefetch run for a workload."""
         if workload not in self._baselines:
-            self._baselines[workload] = simulate(
-                self.trace(workload), config=self.hierarchy,
-                prefetcher_name="none")
+            obs = self._obs()
+            with obs.profiler.phase("baseline_replay"):
+                self._baselines[workload] = simulate(
+                    self.trace(workload), config=self.hierarchy,
+                    prefetcher_name="none", obs=obs)
         return self._baselines[workload]
 
     def run(self, workload: str, prefetcher_name: str) -> EvalRow:
@@ -170,7 +205,8 @@ class Evaluation:
         prefetcher = make_prefetcher(prefetcher_name)
         return run_prefetcher(self.trace(workload), prefetcher,
                               self.baseline(workload),
-                              hierarchy=self.hierarchy, budget=self.budget)
+                              hierarchy=self.hierarchy, budget=self.budget,
+                              obs=self._obs())
 
     def run_grid(self, workloads: Sequence[str],
                  prefetchers: Sequence[str]) -> List[EvalRow]:
@@ -207,8 +243,6 @@ def multi_seed_grid(workloads: Sequence[str],
     this helper reports mean and standard deviation of the speedup per
     (workload, prefetcher) so conclusions can be checked for stability.
     """
-    import statistics
-
     if not seeds:
         raise ConfigError("need at least one seed")
     evaluations = [Evaluation(n_accesses=n_accesses, seed=seed,

@@ -1,0 +1,89 @@
+"""Observability: metrics registry, structured tracing, profiling.
+
+- :mod:`repro.obs.telemetry` — hierarchical Counter/Gauge/Histogram
+  registry with labeled scopes, snapshot-able to a plain dict.
+- :mod:`repro.obs.tracing` — structured span/event tracer with a JSONL
+  file sink and a no-op :class:`~repro.obs.tracing.NullSink` default.
+- :mod:`repro.obs.profiler` — phase timers plus optional tracemalloc
+  peak-memory capture.
+
+The three are bundled into an :class:`Observability` object that the
+simulator, prefetchers, and harness accept.  The disabled bundle keeps
+hot paths inert: event emission is guarded by a cached boolean, and
+only always-cheap typed counters (e.g. the simulator's dropped-prefetch
+count) stay live so their values remain available without opting in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .profiler import PhaseStats, Profiler
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    metric_key,
+)
+from .tracing import JsonlSink, MemorySink, NullSink, Tracer, read_events
+
+
+class Observability:
+    """The registry + tracer + profiler bundle threaded through a run.
+
+    Args:
+        registry: Metrics store (fresh one by default).
+        tracer: Event tracer (disabled :class:`NullSink` one by default).
+        profiler: Phase timers (fresh one by default).
+        enabled: Master switch — :meth:`disabled` instances skip all
+            optional instrumentation (histogram hooks, monitor
+            bridging, registry mirroring) so the un-observed path costs
+            nothing beyond a few boolean checks.
+    """
+
+    __slots__ = ("registry", "tracer", "profiler", "enabled")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 profiler: Optional[Profiler] = None,
+                 enabled: bool = True):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.profiler = profiler if profiler is not None else Profiler()
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A private, inert bundle (per-consumer; never shared state)."""
+        return cls(enabled=False)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Metrics + profile as one JSON-serialisable dict."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "profile": self.profiler.report(),
+        }
+
+    def close(self) -> None:
+        """Flush and close the tracer's sink."""
+        self.tracer.close()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NullSink",
+    "Observability",
+    "PhaseStats",
+    "Profiler",
+    "Tracer",
+    "metric_key",
+    "read_events",
+]

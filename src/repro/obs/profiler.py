@@ -1,0 +1,110 @@
+"""Phase timers and optional peak-memory capture.
+
+The harness's wall-clock splits cleanly into phases — trace generation,
+prefetch-file generation, replay — and the ROADMAP's "fast as the
+hardware allows" goal needs those measured before anything is
+optimised.  :class:`Profiler` accumulates a tree of named phases
+(re-entering a name under the same parent accumulates into one node)
+and reports it as plain dicts.
+
+Memory capture uses stdlib ``tracemalloc`` and is opt-in because it
+slows allocation-heavy code noticeably.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class PhaseStats:
+    """One node of the phase tree."""
+
+    __slots__ = ("name", "wall_s", "calls", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_s = 0.0
+        self.calls = 0
+        self.children: Dict[str, "PhaseStats"] = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable), children included."""
+        node: Dict[str, object] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "calls": self.calls,
+        }
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children.values()]
+        return node
+
+
+class Profiler:
+    """Nestable named phase timers plus optional tracemalloc capture."""
+
+    def __init__(self, capture_memory: bool = False):
+        self._root = PhaseStats("total")
+        self._stack: List[PhaseStats] = [self._root]
+        self.capture_memory = capture_memory
+        #: Peak traced allocation in bytes (None until captured).
+        self.peak_memory_bytes: Optional[int] = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Time a phase; nested calls build the tree."""
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = parent.children[name] = PhaseStats(name)
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.wall_s += time.perf_counter() - start
+            node.calls += 1
+            self._stack.pop()
+
+    @contextmanager
+    def memory(self) -> Iterator[None]:
+        """Capture tracemalloc peak over a block (no-op unless enabled).
+
+        If tracemalloc is already running (e.g. an outer capture), the
+        block is measured against the existing trace without stopping it.
+        """
+        if not self.capture_memory:
+            yield
+            return
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        try:
+            yield
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            self.peak_memory_bytes = int(peak)
+            if started_here:
+                tracemalloc.stop()
+
+    def report(self) -> Dict[str, object]:
+        """The whole phase tree as plain dicts, plus peak memory."""
+        out = self._root.to_dict()
+        out["peak_memory_bytes"] = self.peak_memory_bytes
+        return out
+
+    def flat(self) -> Dict[str, float]:
+        """``dotted.phase.path -> wall_s`` for quick table rendering."""
+        flat: Dict[str, float] = {}
+
+        def walk(node: PhaseStats, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}{child.name}"
+                flat[path] = child.wall_s
+                walk(child, path + ".")
+
+        walk(self._root, "")
+        return flat

@@ -1,0 +1,215 @@
+"""Hierarchical metrics registry: counters, gauges, and histograms.
+
+Metrics are identified by a name plus a label set (``Prometheus``-style
+``name{label=value,...}`` keys), so the same metric can be recorded per
+cache level, per prefetcher, or per workload without string mangling at
+every call site.  :meth:`MetricsRegistry.scope` binds labels once and
+returns a view; nested scopes merge their labels.
+
+Everything snapshots to plain dicts of plain numbers so the output can
+be ``json.dump``-ed directly (the ``--metrics-out`` CLI path).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+#: Default histogram bucket upper bounds (cycle-count friendly powers
+#: of two); the last implicit bucket is +Inf.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+
+class Counter:
+    """A monotonically increasing integer-or-float total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigError("Counter.inc amount must be non-negative")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with running summary statistics.
+
+    Buckets are cumulative-style upper bounds; a value lands in the
+    first bucket whose bound is >= the value, or the implicit ``+Inf``
+    overflow bucket.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        bounds = tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError("histogram bounds must be sorted and non-empty")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper bounds.
+
+        Returns the upper bound of the bucket containing the q-th
+        sample (``max`` for the overflow bucket); 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError("quantile q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= target and bucket:
+                if index < len(self.bounds):
+                    return float(self.bounds[index])
+                return float(self.max)
+        return float(self.max)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict summary (JSON-serialisable)."""
+        buckets = {f"le_{bound:g}": count for bound, count
+                   in zip(self.bounds, self.bucket_counts)}
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+def metric_key(name: str, labels: Dict[str, object]) -> str:
+    """The canonical ``name{k=v,...}`` key for a labeled metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store for all metrics of one run/session."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for (name, labels), created on first use."""
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for (name, labels), created on first use."""
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  **labels: object) -> Histogram:
+        """The histogram for (name, labels), created on first use.
+
+        ``bounds`` only applies on creation; later lookups return the
+        existing histogram unchanged.
+        """
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(bounds)
+        return metric
+
+    def scope(self, **labels: object) -> "MetricsScope":
+        """A view of this registry with ``labels`` pre-bound."""
+        return MetricsScope(self, dict(labels))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as one plain, JSON-serialisable dict."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(self._histograms.items())},
+        }
+
+
+class MetricsScope:
+    """A registry view that injects a fixed label set into every call.
+
+    Call-site labels override scope labels on key collision; nested
+    scopes accumulate.
+    """
+
+    def __init__(self, registry: MetricsRegistry, labels: Dict[str, object]):
+        self._registry = registry
+        self._labels = labels
+
+    def _merged(self, labels: Dict[str, object]) -> Dict[str, object]:
+        merged = dict(self._labels)
+        merged.update(labels)
+        return merged
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._registry.counter(name, **self._merged(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._registry.gauge(name, **self._merged(labels))
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  **labels: object) -> Histogram:
+        return self._registry.histogram(name, bounds=bounds,
+                                        **self._merged(labels))
+
+    def scope(self, **labels: object) -> "MetricsScope":
+        return MetricsScope(self._registry, self._merged(labels))

@@ -1,0 +1,141 @@
+"""Structured event/span tracing with pluggable sinks.
+
+A :class:`Tracer` turns ``emit("pf.issued", block=..., cycle=...)``
+calls into flat dict records and hands them to its sink.  The default
+sink is :class:`NullSink`, which marks the tracer disabled so hot
+loops can guard instrumentation behind a single attribute read::
+
+    if tracer.enabled:
+        tracer.emit("pf.fill", block=block, cycle=cycle)
+
+:class:`JsonlSink` streams records as JSON Lines — one event per line —
+which ``repro report`` (and anything else) can re-read with
+:func:`read_events`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars and other number-likes."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class NullSink:
+    """Swallows everything; marks the owning tracer disabled."""
+
+    enabled = False
+
+    def write(self, event: Dict[str, object]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Keeps events in a list (tests, in-process aggregation)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def write(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one compact JSON object per event to a file."""
+
+    enabled = True
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, event: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":"),
+                                  default=_coerce))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Tracer:
+    """Emits structured events to a sink; a no-op when sink-less.
+
+    Attributes:
+        enabled: False iff the sink is a :class:`NullSink` — read this
+            before building event payloads in hot loops.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = bool(getattr(self.sink, "enabled", True))
+        self._seq = 0
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Record one event (dropped instantly when disabled)."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        record: Dict[str, object] = {"event": event, "seq": self._seq}
+        record.update(fields)
+        self.sink.write(record)
+
+    @contextmanager
+    def span(self, name: str, **fields: object) -> Iterator[None]:
+        """Time a block; emits one ``span`` event with ``wall_s`` on exit."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit("span", name=name,
+                      wall_s=time.perf_counter() - start, **fields)
+
+    def close(self) -> None:
+        """Flush and close the sink."""
+        self.sink.close()
+
+
+def read_events(path) -> List[Dict[str, object]]:
+    """Parse a JSONL event file back into a list of dicts.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number.
+    """
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed event line: {exc}") from None
+    return events

@@ -28,6 +28,21 @@ class Prefetcher:
     #: Human-readable name used in reports.
     name = "base"
 
+    def attach_observability(self, obs) -> None:
+        """Accept an :class:`repro.obs.Observability` bundle.
+
+        The base implementation ignores it; prefetchers with internal
+        state worth exporting (PATHFINDER's SNN, ensembles) override
+        this and :meth:`publish_telemetry`.
+        """
+
+    def publish_telemetry(self) -> None:
+        """Push accumulated internals into the attached registry.
+
+        Called by the harness after the prefetch file is generated;
+        a no-op unless :meth:`attach_observability` armed something.
+        """
+
     def train(self, trace: Trace) -> None:
         """Offline training pass (no-op for online prefetchers)."""
 

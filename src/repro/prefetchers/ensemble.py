@@ -38,6 +38,14 @@ class EnsemblePrefetcher(Prefetcher):
         #: Per-member count of prefetch slots actually used.
         self.slots_used = [0] * len(self.members)
 
+    def attach_observability(self, obs) -> None:
+        for member in self.members:
+            member.attach_observability(obs)
+
+    def publish_telemetry(self) -> None:
+        for member in self.members:
+            member.publish_telemetry()
+
     def train(self, trace: Trace) -> None:
         for member in self.members:
             member.train(trace)

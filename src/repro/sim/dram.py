@@ -61,6 +61,10 @@ class DramModel:
         self._inflight: List[int] = []  # completion cycles, kept sorted-ish
         self.requests = 0
         self.total_wait_cycles = 0
+        #: Optional :class:`repro.obs.Histogram` fed one sample per
+        #: request (cycles spent waiting on bank/queue availability).
+        #: ``None`` keeps the access path observation-free.
+        self.wait_histogram = None
 
     def _bank_of(self, block: int) -> int:
         # Simple block-interleaved bank hash.
@@ -82,6 +86,8 @@ class DramModel:
         self._inflight.append(completion)
         self.requests += 1
         self.total_wait_cycles += start - cycle
+        if self.wait_histogram is not None:
+            self.wait_histogram.observe(start - cycle)
         return completion
 
     @property

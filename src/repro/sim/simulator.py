@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..obs import Counter, Observability
 from ..types import PrefetchRequest, Trace
 from .cache import CacheConfig, SetAssociativeCache
 from .cpu import CoreConfig, TimingCore
@@ -70,15 +71,30 @@ class Simulator:
 
     Instances are single-use: construct, call :meth:`run`, read the
     returned :class:`~repro.sim.metrics.SimResult`.
+
+    With an enabled :class:`~repro.obs.Observability` bundle, the run
+    emits prefetch-lifecycle events (``pf.issued`` → ``pf.fill`` →
+    ``pf.useful``/``pf.late``/``pf.dropped``/``pf.evicted_unused``),
+    mirrors per-level hit/miss counters and the DRAM queue-wait
+    histogram into the metrics registry, and brackets the replay in
+    ``run.begin``/``run.end`` events.  With the default disabled
+    bundle the replay loop pays only a handful of boolean checks.
     """
 
-    def __init__(self, config: Optional[HierarchyConfig] = None):
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 obs: Optional[Observability] = None):
         self.config = config or HierarchyConfig()
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._trace_events = self.obs.tracer.enabled
         self.l1d = SetAssociativeCache(self.config.l1d)
         self.l2 = SetAssociativeCache(self.config.l2)
         self.llc = SetAssociativeCache(self.config.llc)
         self.dram = DramModel(self.config.dram)
         self.core = TimingCore(self.config.core)
+        # Typed drop counter (always live — drops are rare, so this
+        # costs nothing on the hot path); mirrored into the registry
+        # and ``result.extra`` at the end of the run.
+        self._pf_dropped = Counter()
         # In-flight prefetches as a min-heap of (completion_cycle, block)
         # plus a membership map for O(1) match.
         self._pf_heap: List[Tuple[float, int]] = []
@@ -94,16 +110,33 @@ class Simulator:
             completion = self._pf_inflight.pop(block, None)
             if completion is None:
                 continue  # superseded (demand fetched it first)
-            self.llc.insert(block, prefetched=True)
+            if self._trace_events:
+                evicted_before = self.llc.evicted_unused_prefetches
+                victim = self.llc.insert(block, prefetched=True)
+                self.obs.tracer.emit("pf.fill", block=block, cycle=cycle)
+                if self.llc.evicted_unused_prefetches > evicted_before:
+                    self.obs.tracer.emit("pf.evicted_unused", block=victim,
+                                         cycle=cycle)
+            else:
+                self.llc.insert(block, prefetched=True)
 
-    def _issue_prefetch(self, block: int, cycle: float, result: SimResult) -> None:
+    def _issue_prefetch(self, block: int, cycle: float, result: SimResult,
+                        trigger: Optional[int] = None) -> None:
         if self.llc.contains(block) or block in self._pf_inflight:
-            result.extra["pf_dropped"] = result.extra.get("pf_dropped", 0) + 1
+            self._pf_dropped.inc()
+            if self._trace_events:
+                reason = ("inflight" if block in self._pf_inflight
+                          else "resident")
+                self.obs.tracer.emit("pf.dropped", block=block, cycle=cycle,
+                                     trigger=trigger, reason=reason)
             return
         completion = self.dram.access(block, int(cycle))
         self._pf_inflight[block] = completion
         heapq.heappush(self._pf_heap, (float(completion), block))
         result.pf_issued += 1
+        if self._trace_events:
+            self.obs.tracer.emit("pf.issued", block=block, cycle=cycle,
+                                 completion=completion, trigger=trigger)
 
     # -- demand path -------------------------------------------------------
 
@@ -119,8 +152,12 @@ class Simulator:
             self.l1d.insert(block)
             return cfg.l1d.latency + cfg.l2.latency
         lookup_latency = cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency
+        trace_events = self._trace_events
+        useful_before = self.llc.useful_prefetches if trace_events else 0
         if self.llc.lookup(block):
             result.llc_hits += 1
+            if trace_events and self.llc.useful_prefetches > useful_before:
+                self.obs.tracer.emit("pf.useful", block=block, cycle=dispatch)
             self.l2.insert(block)
             self.l1d.insert(block)
             return lookup_latency
@@ -131,11 +168,21 @@ class Simulator:
             result.pf_late += 1
             result.pf_useful += 1
             completion = max(inflight, dispatch + lookup_latency)
+            if trace_events:
+                self.obs.tracer.emit("pf.late", block=block, cycle=dispatch,
+                                     waited=completion - dispatch)
         else:
             issue = self.core.mshr_admit(dispatch + lookup_latency)
             completion = self.dram.access(block, int(issue))
             self.core.mshr_fill(completion)
-        self.llc.insert(block)
+        if trace_events:
+            evicted_before = self.llc.evicted_unused_prefetches
+            victim = self.llc.insert(block)
+            if self.llc.evicted_unused_prefetches > evicted_before:
+                self.obs.tracer.emit("pf.evicted_unused", block=victim,
+                                     cycle=dispatch)
+        else:
+            self.llc.insert(block)
         self.l2.insert(block)
         self.l1d.insert(block)
         return completion - dispatch
@@ -176,13 +223,23 @@ class Simulator:
                            instructions=trace.instruction_count,
                            loads=len(trace))
 
+        if self.obs.enabled:
+            self.dram.wait_histogram = self.obs.registry.histogram(
+                "dram.queue_wait_cycles", run=prefetcher_name,
+                trace=trace.name)
+        if self._trace_events:
+            self.obs.tracer.emit("run.begin", trace=trace.name,
+                                 prefetcher=prefetcher_name,
+                                 loads=len(trace))
+
         for acc in trace:
             dispatch = self.core.dispatch_load(acc.instr_id)
             self._drain_completed_prefetches(dispatch)
             latency = self._demand_access(acc.block, dispatch, result)
             self.core.complete_load(acc.instr_id, dispatch + latency)
             for block in by_trigger.get(acc.instr_id, ()):
-                self._issue_prefetch(block, dispatch, result)
+                self._issue_prefetch(block, dispatch, result,
+                                     trigger=acc.instr_id)
 
         # Account prefetched lines that were demanded after install.
         result.pf_useful += self.llc.useful_prefetches
@@ -191,11 +248,45 @@ class Simulator:
         result.extra["dram_avg_wait"] = self.dram.average_wait
         result.extra["pf_unused_evicted"] = float(
             self.llc.evicted_unused_prefetches)
+        if self._pf_dropped.value:
+            result.extra["pf_dropped"] = float(self._pf_dropped.value)
+        self._publish_metrics(trace, prefetcher_name, result)
         return result
+
+    def _publish_metrics(self, trace: Trace, prefetcher_name: str,
+                         result: SimResult) -> None:
+        """Mirror the run's counters into the registry and close events."""
+        if not self.obs.enabled:
+            return
+        scope = self.obs.registry.scope(run=prefetcher_name,
+                                        trace=trace.name)
+        for cache, hits in ((self.l1d, result.l1d_hits),
+                            (self.l2, result.l2_hits),
+                            (self.llc, result.llc_hits)):
+            level = scope.scope(level=cache.config.name)
+            level.counter("cache.hits").inc(cache.hits)
+            level.counter("cache.misses").inc(cache.misses)
+        scope.counter("pf.issued").inc(result.pf_issued)
+        scope.counter("pf.useful").inc(result.pf_useful)
+        scope.counter("pf.late").inc(result.pf_late)
+        scope.counter("pf.dropped").inc(self._pf_dropped.value)
+        scope.counter("pf.evicted_unused").inc(
+            self.llc.evicted_unused_prefetches)
+        scope.counter("dram.requests").inc(self.dram.requests)
+        scope.gauge("sim.ipc").set(result.ipc)
+        scope.gauge("sim.cycles").set(result.cycles)
+        if self._trace_events:
+            self.obs.tracer.emit(
+                "run.end", trace=trace.name, prefetcher=prefetcher_name,
+                cycles=result.cycles, ipc=result.ipc,
+                pf_issued=result.pf_issued, pf_useful=result.pf_useful,
+                pf_late=result.pf_late, pf_dropped=self._pf_dropped.value,
+                llc_hits=result.llc_hits, llc_misses=result.llc_misses)
 
 
 def simulate(trace: Trace, prefetches: Iterable[PrefetchRequest] = (),
              config: Optional[HierarchyConfig] = None,
-             prefetcher_name: str = "none") -> SimResult:
+             prefetcher_name: str = "none",
+             obs: Optional[Observability] = None) -> SimResult:
     """Convenience wrapper: build a fresh :class:`Simulator` and run it."""
-    return Simulator(config).run(trace, prefetches, prefetcher_name)
+    return Simulator(config, obs=obs).run(trace, prefetches, prefetcher_name)

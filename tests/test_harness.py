@@ -169,6 +169,47 @@ def test_multi_seed_grid_aggregates():
     assert 0.0 <= nl.mean_accuracy <= 1.0
 
 
+def test_multi_seed_grid_aggregation_math():
+    """mean/std must equal statistics over the per-seed EvalRows."""
+    import statistics
+
+    from repro.harness.runner import Evaluation, multi_seed_grid
+
+    seeds = (1, 2, 3)
+    aggregates = multi_seed_grid(["cc-5"], ["nextline"], seeds=seeds,
+                                 n_accesses=1000)
+    (agg,) = aggregates
+    rows = [Evaluation(n_accesses=1000, seed=seed).run("cc-5", "nextline")
+            for seed in seeds]
+    speedups = [r.speedup for r in rows]
+    assert agg.mean_speedup == pytest.approx(statistics.fmean(speedups))
+    assert agg.std_speedup == pytest.approx(statistics.stdev(speedups))
+    assert agg.mean_accuracy == pytest.approx(
+        statistics.fmean(r.accuracy for r in rows))
+    assert agg.mean_coverage == pytest.approx(
+        statistics.fmean(r.coverage for r in rows))
+    assert agg.seeds == len(seeds)
+
+
+def test_multi_seed_grid_single_seed_has_zero_std():
+    from repro.harness.runner import multi_seed_grid
+
+    (agg,) = multi_seed_grid(["cc-5"], ["nextline"], seeds=(1,),
+                             n_accesses=800)
+    assert agg.std_speedup == 0.0
+
+
+def test_statistics_import_is_module_scope():
+    """The satellite fix: no function-local import left behind."""
+    import inspect
+
+    from repro.harness import runner
+
+    assert runner.statistics is not None
+    source = inspect.getsource(runner.multi_seed_grid)
+    assert "import statistics" not in source
+
+
 def test_multi_seed_grid_requires_seeds():
     from repro.errors import ConfigError
     from repro.harness.runner import multi_seed_grid

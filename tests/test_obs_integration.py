@@ -1,0 +1,198 @@
+"""Integration tests: observability threaded through sim/harness/CLI."""
+
+import json
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro import make_trace, simulate
+from repro.cli import main
+from repro.harness.reporting import summarize_events
+from repro.harness.runner import Evaluation, default_hierarchy
+from repro.obs import MemorySink, Observability, Tracer, read_events
+from repro.prefetchers import NextLinePrefetcher, generate_prefetches
+
+
+def _evaluate_with_events(workload="cc-5", prefetcher="nextline",
+                          n_accesses=2500):
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink))
+    evaluation = Evaluation(n_accesses=n_accesses, seed=1, obs=obs)
+    row = evaluation.run(workload, prefetcher)
+    return row, obs, sink.events
+
+
+def test_events_reconcile_with_sim_result():
+    row, _, events = _evaluate_with_events()
+    counts = TallyCounter(e["event"] for e in events)
+    assert counts["pf.issued"] == row.result.pf_issued > 0
+    assert counts["pf.late"] == row.result.pf_late
+    assert (counts["pf.useful"] + counts["pf.late"]) == row.result.pf_useful
+    assert counts["pf.dropped"] == row.result.extra.get("pf_dropped", 0)
+    assert counts["pf.evicted_unused"] == row.result.extra["pf_unused_evicted"]
+    # fills can never exceed issues, and every lifecycle event carries
+    # a block and a cycle.
+    assert counts["pf.fill"] <= counts["pf.issued"]
+    for event in events:
+        if event["event"].startswith("pf."):
+            assert "block" in event and "cycle" in event
+
+
+def test_registry_mirrors_run_counters():
+    row, obs, _ = _evaluate_with_events()
+    counters = obs.registry.snapshot()["counters"]
+    label = "{run=nextline,trace=cc-5}"
+    assert counters[f"pf.issued{label}"] == row.result.pf_issued
+    assert counters[f"pf.useful{label}"] == row.result.pf_useful
+    assert (counters[f"cache.hits{{level=LLC,run=nextline,trace=cc-5}}"]
+            == row.result.llc_hits)
+    histograms = obs.registry.snapshot()["histograms"]
+    wait = histograms[f"dram.queue_wait_cycles{label}"]
+    assert wait["count"] == row.result.dram_requests
+
+
+def test_eval_row_carries_timings():
+    row, obs, _ = _evaluate_with_events()
+    assert row.timings["prefetch_file_s"] >= 0.0
+    assert row.timings["replay_s"] > 0.0
+    flat = obs.profiler.flat()
+    assert {"trace_gen", "baseline_replay", "prefetch_file",
+            "replay"} <= set(flat)
+
+
+def test_pathfinder_bridges_snn_telemetry():
+    row, obs, events = _evaluate_with_events(prefetcher="pathfinder",
+                                             n_accesses=800)
+    snap = obs.registry.snapshot()
+    scope = "{component=snn,prefetcher=pathfinder}"
+    assert snap["counters"][f"snn.queries{scope}"] > 0
+    assert snap["counters"][f"snn.stdp_updates{scope}"] > 0
+    saturation = snap["gauges"][f"snn.weight_saturation{scope}"]
+    assert 0.0 <= saturation <= 1.0
+    intervals = snap["histograms"][f"snn.spikes_per_interval{scope}"]
+    assert intervals["count"] == snap["counters"][f"snn.queries{scope}"]
+    summaries = [e for e in events if e["event"] == "snn.summary"]
+    assert len(summaries) == 1
+    assert summaries[0]["queries"] == snap["counters"][f"snn.queries{scope}"]
+
+
+def test_disabled_observability_matches_plain_result():
+    trace = make_trace("cc-5", 2000, seed=1)
+    requests = generate_prefetches(NextLinePrefetcher(degree=2), trace)
+    hierarchy = default_hierarchy()
+    plain = simulate(trace, requests, config=hierarchy,
+                     prefetcher_name="nextline")
+    observed = simulate(trace, requests, config=hierarchy,
+                        prefetcher_name="nextline",
+                        obs=Observability(tracer=Tracer(MemorySink())))
+    assert plain == observed  # bit-for-bit SimResult parity
+
+
+def test_dropped_prefetches_counted_and_mirrored_as_float():
+    trace = make_trace("cc-5", 2000, seed=1)
+    requests = generate_prefetches(NextLinePrefetcher(degree=2), trace)
+    result = simulate(trace, requests, config=default_hierarchy(),
+                      prefetcher_name="nextline")
+    dropped = result.extra.get("pf_dropped", 0.0)
+    assert isinstance(dropped, float)
+    assert dropped > 0
+
+
+def test_summarize_events_tables():
+    _, _, events = _evaluate_with_events()
+    tables = summarize_events(events)
+    titles = [title for title, _, _ in tables]
+    assert "Simulation runs" in titles
+    assert "Prefetch lifecycle" in titles
+    lifecycle = next(rows for title, _, rows in tables
+                     if title == "Prefetch lifecycle")
+    by_stage = {row[0]: row[1] for row in lifecycle}
+    counts = TallyCounter(e["event"] for e in events)
+    assert by_stage["pf.issued"] == counts["pf.issued"]
+    assert (by_stage["useful (total = useful + late)"]
+            == counts["pf.useful"] + counts["pf.late"])
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_run_events_and_metrics_out(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["run", "cc-5", "nextline", "--loads", "2000",
+                 "--events-out", str(events_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "dropped" in out
+
+    events = read_events(events_path)
+    assert events, "events file must parse and be non-empty"
+    counts = TallyCounter(e["event"] for e in events)
+    run_end = next(e for e in events
+                   if e["event"] == "run.end" and e["prefetcher"] == "nextline")
+    # Event-level lifecycle counts reconcile with the run summary.
+    assert counts["pf.issued"] == run_end["pf_issued"]
+    assert counts["pf.useful"] + counts["pf.late"] == run_end["pf_useful"]
+    assert counts["pf.dropped"] == run_end["pf_dropped"]
+
+    snapshot = json.loads(metrics_path.read_text())
+    label = "{run=nextline,trace=cc-5}"
+    assert snapshot["metrics"]["counters"][f"pf.issued{label}"] \
+        == run_end["pf_issued"]
+    assert snapshot["profile"]["children"]
+
+
+def test_cli_run_budget_and_hierarchy_flags(capsys):
+    assert main(["run", "cc-5", "nextline", "--loads", "1000",
+                 "--budget", "1", "--hierarchy", "full"]) == 0
+    out = capsys.readouterr().out
+    assert "budget 1" in out
+    assert "full hierarchy" in out
+
+
+def test_cli_budget_flag_limits_issue_rate(tmp_path):
+    def issued(budget):
+        events_path = tmp_path / f"b{budget}.jsonl"
+        assert main(["run", "cc-5", "nextline", "--loads", "1500",
+                     "--budget", str(budget),
+                     "--events-out", str(events_path)]) == 0
+        counts = TallyCounter(e["event"] for e in read_events(events_path))
+        return counts["pf.issued"] + counts["pf.dropped"]
+
+    assert issued(1) < issued(2)
+
+
+def test_cli_report_summarizes_events(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    assert main(["run", "cc-5", "nextline", "--loads", "1500",
+                 "--events-out", str(events_path)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(events_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Prefetch lifecycle" in out
+    assert "pf.issued" in out
+
+
+def test_cli_report_missing_file(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+    assert "error" in capsys.readouterr().out
+
+
+def test_cli_experiment_obs_flags(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["experiment", "table9",
+                 "--events-out", str(events_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    events = read_events(events_path)
+    kinds = {e["event"] for e in events}
+    assert "experiment.metric" in kinds
+    assert "span" in kinds
+    snapshot = json.loads(metrics_path.read_text())
+    assert any(k.startswith("experiment.metric")
+               for k in snapshot["metrics"]["gauges"])
+
+
+def test_cli_run_peak_memory(capsys):
+    assert main(["run", "cc-5", "nextline", "--loads", "1000",
+                 "--peak-memory"]) == 0
+    assert "peak memory" in capsys.readouterr().out
