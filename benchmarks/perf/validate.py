@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Validate a ``repro bench`` JSON report (exit 0 = well-formed).
+
+Usage: python benchmarks/perf/validate.py BENCH_perf.json
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.errors import ConfigError  # noqa: E402
+from repro.harness.perfbench import load_bench  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip())
+        return 2
+    try:
+        report = load_bench(argv[1])
+    except ConfigError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    names = ", ".join(report["prefetchers"])
+    print(f"OK: schema v{report['schema_version']}, "
+          f"{report['workload']} x {report['n_accesses']} loads, "
+          f"prefetchers: {names}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,10 +13,18 @@ Four subcommands, installed as the ``repro`` console script::
         coverage against the no-prefetch baseline, optionally streaming
         structured lifecycle events and a metrics snapshot to files.
 
-    repro experiment <id> [--loads N] [--workloads a,b,...]
+    repro experiment <id> [--loads N] [--workloads a,b,...] [--jobs J]
               [--events-out e.jsonl] [--metrics-out m.json]
         Regenerate one of the paper's tables/figures (see
-        ``repro.harness.EXPERIMENTS`` for ids).
+        ``repro.harness.EXPERIMENTS`` for ids).  Grid-shaped
+        experiments fan their cells out over ``--jobs`` worker
+        processes; the resulting tables are identical either way.
+
+    repro bench [--small] [--out BENCH_perf.json] [--prefetchers a,b]
+              [--loads N] [--seed S] [--repeats R]
+        Time the trace-gen / prefetch-file / replay phases per
+        prefetcher at fixed seeds and write a schema-versioned JSON
+        perf report (the repo tracks ``BENCH_perf.json`` at its root).
 
     repro report <events.jsonl>
         Aggregate a ``--events-out`` file into human-readable tables
@@ -151,6 +159,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.experiment in ("table9", "table2_fig3"):
         kwargs.pop("n_accesses", None)
         kwargs.pop("workloads", None)
+    if args.jobs > 1:
+        import inspect
+
+        fn = EXPERIMENTS[args.experiment]
+        if "jobs" in inspect.signature(fn).parameters:
+            kwargs["jobs"] = args.jobs
+        else:
+            print(f"[note: {args.experiment} is not grid-shaped; "
+                  f"--jobs ignored]")
     obs = _make_obs(args)
     if obs is not None:
         try:
@@ -176,6 +193,40 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"\n[events written to {args.events_out}]")
     if obs is not None and args.metrics_out:
         _write_metrics(obs, args.metrics_out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness.perfbench import (
+        DEFAULT_PREFETCHERS,
+        SMALL_N_ACCESSES,
+        SMALL_PREFETCHERS,
+        run_bench,
+        save_bench,
+    )
+
+    if args.prefetchers:
+        prefetchers = tuple(args.prefetchers.split(","))
+    else:
+        prefetchers = SMALL_PREFETCHERS if args.small else DEFAULT_PREFETCHERS
+    loads = args.loads
+    if loads is None:
+        loads = SMALL_N_ACCESSES if args.small else 20_000
+    report = run_bench(prefetchers=prefetchers, workload=args.workload,
+                       n_accesses=loads, seed=args.seed,
+                       budget=args.budget, repeats=args.repeats)
+    rows = [["trace_gen", "-", f"{report['trace_gen_s']:.3f}s"],
+            ["baseline_replay", "-", f"{report['baseline_replay_s']:.3f}s"]]
+    for name, cell in report["prefetchers"].items():
+        rows.append(["prefetch_file", name, f"{cell['prefetch_file_s']:.3f}s"])
+        rows.append(["replay", name, f"{cell['replay_s']:.3f}s"])
+    print(format_table(
+        ["phase", "prefetcher", "best-of-%d wall time" % report["repeats"]],
+        rows,
+        title=f"perf bench: {report['workload']}, {report['n_accesses']} "
+              f"loads, seed {report['seed']}"))
+    save_bench(report, args.out)
+    print(f"\n[perf report written to {args.out}]")
     return 0
 
 
@@ -239,8 +290,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workloads",
                        help="comma-separated workload subset")
     p_exp.add_argument("--json", help="also write results to a JSON file")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for grid-shaped experiments "
+                            "(1 = serial; results are identical either way)")
     _add_obs_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_bench = sub.add_parser(
+        "bench", help="time pipeline phases and write a perf report")
+    p_bench.add_argument("--out", default="BENCH_perf.json",
+                         help="where to write the JSON perf report")
+    p_bench.add_argument("--small", action="store_true",
+                         help="CI-sized preset: short trace, three "
+                              "prefetchers (overridable per flag)")
+    p_bench.add_argument("--prefetchers",
+                         help="comma-separated prefetcher subset")
+    p_bench.add_argument("--workload", choices=WORKLOAD_NAMES,
+                         default="cc-5")
+    p_bench.add_argument("--loads", type=int, default=None,
+                         help="accesses per trace (default 20000, or the "
+                              "small preset's size with --small)")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--budget", type=int, default=2)
+    p_bench.add_argument("--repeats", type=int, default=1,
+                         help="timing repeats; phases report the minimum")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_rep = sub.add_parser("report",
                            help="summarize an --events-out JSONL file")

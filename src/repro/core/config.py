@@ -72,6 +72,14 @@ class PathfinderConfig:
         inhibition_scale: Lateral-inhibition multiplier (< 1 lets
             multiple neurons fire; used by the multi-winner degree
             variant).
+        fast_snn: Use the sparse-aware SNN hot paths (active-pixel
+            drive, winner-column STDP, memoised encodings).  Produces
+            the same winners and prefetch files as the dense reference
+            implementations; ``False`` forces the reference code paths
+            (used by the parity tests).
+        encoder_cache_size: LRU capacity of the pixel-encoding memo
+            (entries, keyed by padded delta history); 0 disables
+            caching.
         seed: RNG seed for the SNN.
     """
 
@@ -103,6 +111,8 @@ class PathfinderConfig:
     tc_theta_decay: float = 1e5
     init_density: float = 0.25
     inhibition_scale: float = 1.0
+    fast_snn: bool = True
+    encoder_cache_size: int = 4096
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -124,6 +134,8 @@ class PathfinderConfig:
             raise ConfigError("stdp_epoch must be >= 1 (or None)")
         if self.stdp_on_accesses < 0:
             raise ConfigError("stdp_on_accesses must be >= 0")
+        if self.encoder_cache_size < 0:
+            raise ConfigError("encoder_cache_size must be >= 0")
 
     @property
     def max_delta(self) -> int:

@@ -68,7 +68,16 @@ class InferenceTable:
         """Labels of ``neuron`` at or above ``min_confidence``,
         highest-confidence first."""
         self._check_neuron(neuron)
-        ranked = sorted(self._slots[neuron], key=lambda s: -s.confidence)
+        ranked = self._slots[neuron]
+        if not ranked:
+            return []
+        if len(ranked) == 2:
+            # The common labels_per_neuron=2 case: a single comparison
+            # (stable, like the sort below — ties keep slot order).
+            if ranked[1].confidence > ranked[0].confidence:
+                ranked = [ranked[1], ranked[0]]
+        elif len(ranked) > 2:
+            ranked = sorted(ranked, key=lambda s: -s.confidence)
         return [s.label for s in ranked if s.confidence >= min_confidence]
 
     def observe(self, neuron: int, actual_delta: int) -> None:
@@ -83,6 +92,7 @@ class InferenceTable:
         self._check_neuron(neuron)
         slots = self._slots[neuron]
         matched = False
+        drained = False
         for slot in slots:
             if slot.label == actual_delta:
                 slot.confidence = min(self.confidence_max,
@@ -92,9 +102,11 @@ class InferenceTable:
             else:
                 slot.confidence -= 1
                 self.wrong_observations += 1
-        self._slots[neuron] = [s for s in slots if s.confidence > 0]
-        erased = len(slots) - len(self._slots[neuron])
-        self.labels_erased += erased
+                if slot.confidence <= 0:
+                    drained = True
+        if drained:
+            self._slots[neuron] = [s for s in slots if s.confidence > 0]
+            self.labels_erased += len(slots) - len(self._slots[neuron])
         if not matched and len(self._slots[neuron]) < self.labels_per_neuron:
             if (not self.require_confirmation
                     or self._pending[neuron] == actual_delta):
@@ -108,8 +120,24 @@ class InferenceTable:
 
     def predict(self, neuron: int, min_confidence: int = 1,
                 max_labels: Optional[int] = None) -> List[int]:
-        """Deltas this neuron predicts, best first, up to ``max_labels``."""
-        labels = self.labels(neuron, min_confidence)
+        """Deltas this neuron predicts, best first, up to ``max_labels``.
+
+        Same ranking as :meth:`labels`, restated inline: this is called
+        once per firing neuron per query, and most neurons have empty
+        slot lists for the first several hundred accesses.
+        """
+        if not 0 <= neuron < self.n_neurons:
+            raise ConfigError(f"neuron index {neuron} out of range")
+        ranked = self._slots[neuron]
+        if not ranked:
+            return []
+        if len(ranked) == 2:
+            if ranked[1].confidence > ranked[0].confidence:
+                ranked = [ranked[1], ranked[0]]
+        elif len(ranked) > 2:
+            ranked = sorted(ranked, key=lambda s: -s.confidence)
+        labels = [s.label for s in ranked
+                  if s.confidence >= min_confidence]
         if max_labels is not None:
             labels = labels[:max_labels]
         return labels

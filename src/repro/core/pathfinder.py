@@ -27,7 +27,13 @@ from ..snn.monitors import SpikeMonitor
 from ..snn.network import DiehlCookNetwork, NetworkConfig, RunRecord
 from ..snn.neurons import LIFConfig
 from ..snn.stdp import STDPConfig
-from ..types import BLOCKS_PER_PAGE, MemoryAccess, compose_address
+from ..types import (
+    BLOCK_BITS,
+    BLOCKS_PER_PAGE,
+    PAGE_BITS,
+    MemoryAccess,
+    compose_address,
+)
 from .config import PathfinderConfig
 from .inference_table import InferenceTable
 from .pixel import PixelMatrixEncoder
@@ -84,7 +90,8 @@ class PathfinderPrefetcher(Prefetcher):
             theta_plus=cfg.theta_plus,
             theta_max=cfg.theta_max,
             tc_theta_decay=cfg.tc_theta_decay)
-        return DiehlCookNetwork(net_cfg, stdp=stdp, exc_lif=lif)
+        return DiehlCookNetwork(net_cfg, stdp=stdp, exc_lif=lif,
+                                fast=cfg.fast_snn)
 
     # -- observability -------------------------------------------------------
 
@@ -130,11 +137,16 @@ class PathfinderPrefetcher(Prefetcher):
         scope.counter("snn.spikes").inc(total_spikes)
         scope.gauge("snn.weight_saturation").set(self.weight_saturation)
         scope.gauge("snn.intervals").set(self.monitor.intervals)
+        scope.counter("snn.encoder_cache_hits").inc(self.encoder.cache_hits)
+        scope.counter("snn.encoder_cache_misses").inc(
+            self.encoder.cache_misses)
         self._obs.tracer.emit(
             "snn.summary", prefetcher=self.name, queries=self.snn_queries,
             stdp_updates=self.stdp_updates, spikes=total_spikes,
             intervals=self.monitor.intervals,
-            weight_saturation=self.weight_saturation)
+            weight_saturation=self.weight_saturation,
+            encoder_cache_hits=self.encoder.cache_hits,
+            encoder_cache_misses=self.encoder.cache_misses)
 
     # -- periodic STDP gating (paper Figure 8) ------------------------------
 
@@ -147,9 +159,13 @@ class PathfinderPrefetcher(Prefetcher):
     # -- main per-access step ------------------------------------------------
 
     def process(self, access: MemoryAccess) -> List[int]:
-        cfg = self.config
         self.accesses_seen += 1
-        page, offset = access.page, access.offset
+        # Inlined MemoryAccess.page/.offset and encoder.in_range: this
+        # per-access path runs for every demand load, so the property
+        # and method dispatch overhead is measurable.
+        address = access.address
+        page = address >> PAGE_BITS
+        offset = (address >> BLOCK_BITS) & (BLOCKS_PER_PAGE - 1)
 
         entry = self.training_table.lookup(access.pc, page)
         if entry is None:
@@ -163,7 +179,8 @@ class PathfinderPrefetcher(Prefetcher):
             # Repeat access to the same block: nothing to learn or do.
             return []
 
-        in_range = self.encoder.in_range(delta)
+        bound = self.config.max_delta
+        in_range = -bound <= delta <= bound
         if entry.fired_neuron is not None and in_range:
             self.inference_table.observe(entry.fired_neuron, delta)
         self.training_table.record_delta(entry, delta, in_range)
@@ -174,43 +191,54 @@ class PathfinderPrefetcher(Prefetcher):
     def _query_and_predict(self, entry, page: int, offset: int,
                            first_offset: Optional[int] = None) -> List[int]:
         cfg = self.config
-        rates = self.encoder.encode_history(list(entry.deltas),
-                                            first_offset=first_offset)
-        if rates is None:
+        encoding = self.encoder.encode_history_sparse(
+            entry.deltas, first_offset=first_offset)
+        if encoding is None:
             entry.fired_neuron = None
             return []
         learn = self._learning_enabled()
-        record = self._run_network(rates, learn)
+        record = self._run_network(encoding.rates, learn,
+                                   active=encoding.active)
         self.snn_queries += 1
         entry.fired_neuron = record.winner
         if record.winner is None:
             return []
 
+        degree = cfg.degree
+        predict = self.inference_table.predict
         predictions: List[int] = []
-        for neuron in record.winners(cfg.degree):
-            for label in self.inference_table.predict(
+        for neuron in record.winners(degree):
+            for label in predict(
                     neuron, min_confidence=cfg.confidence_threshold):
                 if label not in predictions:
                     predictions.append(label)
-                if len(predictions) >= cfg.degree:
+                if len(predictions) >= degree:
                     break
-            if len(predictions) >= cfg.degree:
+            if len(predictions) >= degree:
                 break
         entry.predicted = tuple(predictions)
 
         addresses: List[int] = []
+        page_base = page << PAGE_BITS
         for label in predictions:
             target = offset + label
             if 0 <= target < BLOCKS_PER_PAGE:
-                addresses.append(compose_address(page, target))
+                # compose_address(page, target), bounds check already done.
+                addresses.append(page_base | (target << BLOCK_BITS))
         self.prefetches_emitted += len(addresses)
         return addresses
 
-    def _run_network(self, rates: np.ndarray, learn: bool) -> RunRecord:
+    def _run_network(self, rates: np.ndarray, learn: bool,
+                     active: Optional[np.ndarray] = None) -> RunRecord:
         if learn:
             self.stdp_updates += 1
         if self.config.one_tick:
-            record = self.network.present_one_tick(rates, learn=learn)
+            # The encoder only emits full-intensity pixels, so the
+            # binary-rates fast path applies whenever it supplied the
+            # support set.
+            record = self.network.present_one_tick(
+                rates, learn=learn, active=active,
+                binary=True if active is not None else None)
             if self.monitor is not None:
                 self.monitor.record(record)
             return record
@@ -235,7 +263,14 @@ class PathfinderPrefetcher(Prefetcher):
         return record
 
     def reset(self) -> None:
-        """Clear all run-time state, re-seeding the SNN identically."""
+        """Clear all run-time state, re-seeding the SNN identically.
+
+        The encoder's memo table survives (encodings are a pure
+        function of the config) but its hit/miss counters restart so
+        per-run telemetry stays comparable.
+        """
+        self.encoder.cache_hits = 0
+        self.encoder.cache_misses = 0
         self.network = self._build_network()
         self.training_table = TrainingTable(
             capacity=self.config.training_table_size,

@@ -19,12 +19,33 @@ switchable for the Figure 9 ablation ladder:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError
 from .config import PathfinderConfig
+
+
+@dataclass(frozen=True)
+class SparseEncoding:
+    """A pixel-rate vector plus its precomputed support.
+
+    Both arrays are marked read-only because instances are shared
+    through the encoder's LRU cache; consumers that need to scale the
+    rates (e.g. intensity boosting) copy first.
+
+    Attributes:
+        rates: Dense float intensities, shape ``(n_input,)``.
+        active: Sorted flat indices of the nonzero pixels — exactly
+            ``np.flatnonzero(rates)``, precomputed so the SNN hot path
+            never has to scan the (overwhelmingly zero) vector.
+    """
+
+    rates: np.ndarray
+    active: np.ndarray
 
 
 def _spread_permutation(width: int) -> np.ndarray:
@@ -53,6 +74,48 @@ class PixelMatrixEncoder:
         self._center = config.max_delta
         self._permutation: Optional[np.ndarray] = (
             _spread_permutation(self._width) if config.reorder_pixels else None)
+        # Per-(row, delta-column) lit-index tables: every shift /
+        # permutation / enlargement decision is resolved once here, so
+        # encoding a history is H table lookups and one scatter.
+        self._row_tables = self._build_row_tables()
+        self._cache: "OrderedDict[Tuple[int, ...], SparseEncoding]" = \
+            OrderedDict()
+        self._cache_size = getattr(config, "encoder_cache_size", 4096)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _build_row_tables(self) -> List[List[np.ndarray]]:
+        """Precompute the lit flat indices for every (row, column).
+
+        ``tables[row][delta + max_delta]`` is the sorted array of flat
+        pixel indices that :meth:`encode` would light for that delta in
+        that row (middle-shift, permutation, and enlargement already
+        applied).
+        """
+        cfg = self.config
+        middle = self._height // 2
+        tables: List[List[np.ndarray]] = []
+        for row in range(self._height):
+            base = row * self._width
+            entries: List[np.ndarray] = []
+            for raw in range(self._width):
+                column = raw
+                if row == middle and self._height >= 3:
+                    column = min(self._width - 1,
+                                 max(0, column + cfg.middle_shift))
+                if self._permutation is not None:
+                    column = int(self._permutation[column])
+                lit = {column}
+                if cfg.enlarge_pixels:
+                    for offset in range(1, cfg.enlarge_radius + 1):
+                        for neighbour in (column - offset, column + offset):
+                            if 0 <= neighbour < self._width:
+                                lit.add(neighbour)
+                indices = base + np.array(sorted(lit), dtype=np.intp)
+                indices.setflags(write=False)
+                entries.append(indices)
+            tables.append(entries)
+        return tables
 
     @property
     def n_input(self) -> int:
@@ -66,6 +129,9 @@ class PixelMatrixEncoder:
     def encode(self, deltas: Sequence[int]) -> np.ndarray:
         """Encode a delta history (most recent last) into pixel rates.
 
+        Uses the precomputed lit-index tables; returns a fresh writable
+        vector, bit-identical to :meth:`encode_reference`.
+
         Args:
             deltas: Exactly H values; each must be in range (a zero is
                 legal — it is used by the cold-page encodings).
@@ -73,6 +139,18 @@ class PixelMatrixEncoder:
         Raises:
             ConfigError: on wrong history length or out-of-range delta.
         """
+        if len(deltas) != self._height:
+            raise ConfigError(
+                f"expected {self._height} deltas, got {len(deltas)}")
+        rates = np.zeros(self.n_input, dtype=float)
+        for row, delta in enumerate(deltas):
+            if not self.in_range(delta):
+                raise ConfigError(f"delta {delta} outside pixel matrix range")
+            rates[self._row_tables[row][delta + self._center]] = 1.0
+        return rates
+
+    def encode_reference(self, deltas: Sequence[int]) -> np.ndarray:
+        """Original per-pixel encoding loop, kept for parity tests."""
         cfg = self.config
         if len(deltas) != self._height:
             raise ConfigError(
@@ -132,6 +210,63 @@ class PixelMatrixEncoder:
             return self.encode(padded)
         padded = [0] * (self._height - len(deltas)) + list(deltas)
         return self.encode(padded)
+
+    def encode_history_sparse(self, deltas: Sequence[int],
+                              first_offset: Optional[int] = None
+                              ) -> Optional[SparseEncoding]:
+        """Memoised sparse form of :meth:`encode_history`.
+
+        Same padding/clipping semantics, but the result carries its
+        active-pixel support and is cached (LRU, keyed by the padded
+        ``history_key``) — delta histories repeat heavily in real
+        traces, so most accesses hit the cache and skip encoding
+        entirely.  The returned arrays are read-only and shared; the
+        ``rates`` values are bit-identical to :meth:`encode_history`
+        and ``active`` equals ``np.flatnonzero(rates)``.
+        """
+        cfg = self.config
+        bound = self._center
+        clipped = [(-bound if d < -bound else (bound if d > bound else d))
+                   for d in deltas]
+        if len(clipped) >= self._height:
+            padded = clipped[-self._height:]
+        elif not cfg.cold_page_encoding:
+            return None
+        elif not clipped:
+            if first_offset is None:
+                return None
+            padded = [self._clip(first_offset)] + [0] * (self._height - 1)
+        else:
+            padded = [0] * (self._height - len(clipped)) + clipped
+        key = tuple(padded)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        # Rows occupy disjoint, increasing index ranges and each table
+        # is sorted, so concatenating in row order is already the
+        # sorted unique support.
+        active = np.concatenate(
+            [self._row_tables[row][delta + self._center]
+             for row, delta in enumerate(padded)])
+        rates = np.zeros(self.n_input, dtype=float)
+        rates[active] = 1.0
+        rates.setflags(write=False)
+        active.setflags(write=False)
+        encoding = SparseEncoding(rates=rates, active=active)
+        if self._cache_size > 0:
+            self._cache[key] = encoding
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return encoding
+
+    def cache_clear(self) -> None:
+        """Drop all memoised encodings and reset the hit/miss counters."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _clip(self, value: int) -> int:
         bound = self.config.max_delta

@@ -19,8 +19,22 @@ from .runner import (
 )
 from .reporting import format_table, geometric_mean, summarize_events
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .perfbench import (
+    DEFAULT_PREFETCHERS,
+    SCHEMA_VERSION,
+    load_bench,
+    run_bench,
+    save_bench,
+    validate_bench,
+)
 
 __all__ = [
+    "DEFAULT_PREFETCHERS",
+    "SCHEMA_VERSION",
+    "load_bench",
+    "run_bench",
+    "save_bench",
+    "validate_bench",
     "PREFETCHER_FACTORIES",
     "EvalRow",
     "Evaluation",

@@ -84,17 +84,6 @@ class ExperimentResult:
 _SHORT_WORKLOADS = ("cc-5", "473-astar-s1", "623-xalan-s1", "605-mcf-s1")
 
 
-def _pf_row(evaluation: Evaluation, workload: str,
-            config: PathfinderConfig):
-    """Run a PATHFINDER config on a cached workload."""
-    from .runner import run_prefetcher
-
-    prefetcher = PathfinderPrefetcher(config)
-    return run_prefetcher(evaluation.trace(workload), prefetcher,
-                          evaluation.baseline(workload),
-                          hierarchy=evaluation.hierarchy)
-
-
 # ---------------------------------------------------------------------------
 # Table 1 — 1-tick / 32-tick winner agreement
 # ---------------------------------------------------------------------------
@@ -184,16 +173,16 @@ FIG4_PREFETCHERS = ("bo", "sisb", "voyager", "delta-lstm", "spp",
 
 def experiment_fig4(n_accesses: int = 20_000, seed: int = 1,
                     workloads: Optional[Sequence[str]] = None,
-                    prefetchers: Sequence[str] = FIG4_PREFETCHERS) -> ExperimentResult:
+                    prefetchers: Sequence[str] = FIG4_PREFETCHERS,
+                    jobs: int = 1) -> ExperimentResult:
     """IPC / accuracy / coverage for the full prefetcher lineup."""
     workloads = list(workloads or WORKLOAD_NAMES)
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
     result = ExperimentResult("fig4", "Main prefetcher comparison")
 
-    grid = {}
-    for workload in workloads:
-        for name in prefetchers:
-            grid[(workload, name)] = evaluation.run(workload, name)
+    cells = [(workload, name) for workload in workloads
+             for name in prefetchers]
+    grid = dict(zip(cells, evaluation.run_cells(cells, jobs=jobs)))
 
     for metric, label in (("speedup", "IPC speedup over no-prefetch"),
                           ("accuracy", "Accuracy"),
@@ -225,17 +214,21 @@ def experiment_fig4(n_accesses: int = 20_000, seed: int = 1,
 
 
 def experiment_table6(n_accesses: int = 20_000, seed: int = 1,
-                      workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+                      workloads: Optional[Sequence[str]] = None,
+                      jobs: int = 1) -> ExperimentResult:
     """Issued prefetches of SPP (fewest), Pythia (most), PATHFINDER."""
     workloads = list(workloads or WORKLOAD_NAMES)
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
     rows: TableRows = []
     result = ExperimentResult("table6", "Issued prefetches")
     totals = {"spp": [], "pythia": [], "pathfinder": []}
+    names = ("spp", "pythia", "pathfinder")
+    cells = [(workload, name) for workload in workloads for name in names]
+    grid = dict(zip(cells, evaluation.run_cells(cells, jobs=jobs)))
     for workload in workloads:
         row = [workload]
-        for name in ("spp", "pythia", "pathfinder"):
-            issued = evaluation.run(workload, name).issued
+        for name in names:
+            issued = grid[(workload, name)].issued
             row.append(issued)
             totals[name].append(issued)
         rows.append(row)
@@ -257,19 +250,22 @@ def experiment_table6(n_accesses: int = 20_000, seed: int = 1,
 
 def experiment_fig5_table7(n_accesses: int = 20_000, seed: int = 1,
                            workloads: Optional[Sequence[str]] = None,
-                           delta_ranges: Sequence[int] = (31, 63, 127)) -> ExperimentResult:
+                           delta_ranges: Sequence[int] = (31, 63, 127),
+                           jobs: int = 1) -> ExperimentResult:
     """PATHFINDER IPC/accuracy/coverage vs delta range + delta counts."""
     workloads = list(workloads or WORKLOAD_NAMES)
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
     result = ExperimentResult("fig5_table7", "Delta-range sensitivity")
 
+    cells = [(workload, PathfinderConfig(delta_range=delta_range))
+             for workload in workloads for delta_range in delta_ranges]
+    flat = iter(evaluation.run_cells(cells, jobs=jobs))
     per_metric: Dict[str, TableRows] = {m: [] for m in
                                         ("speedup", "accuracy", "coverage")}
     for workload in workloads:
         metric_rows = {m: [workload] for m in per_metric}
-        for delta_range in delta_ranges:
-            row = _pf_row(evaluation, workload,
-                          PathfinderConfig(delta_range=delta_range))
+        for _ in delta_ranges:
+            row = next(flat)
             for m in per_metric:
                 metric_rows[m].append(getattr(row, m))
         for m in per_metric:
@@ -307,21 +303,23 @@ def experiment_fig5_table7(n_accesses: int = 20_000, seed: int = 1,
 
 def experiment_fig6_table8(n_accesses: int = 20_000, seed: int = 1,
                            workloads: Optional[Sequence[str]] = None,
-                           neuron_counts: Sequence[int] = (10, 20, 50, 100)) -> ExperimentResult:
+                           neuron_counts: Sequence[int] = (10, 20, 50, 100),
+                           jobs: int = 1) -> ExperimentResult:
     """IPC vs neuron count for the 1-label and 2-label variants."""
     workloads = list(workloads or _SHORT_WORKLOADS)
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
     result = ExperimentResult("fig6_table8", "Neuron-count sensitivity")
 
     for labels in (2, 1):
+        cells = [(workload, PathfinderConfig(n_neurons=n,
+                                             labels_per_neuron=labels))
+                 for workload in workloads for n in neuron_counts]
+        flat = iter(evaluation.run_cells(cells, jobs=jobs))
         rows: TableRows = []
         for workload in workloads:
             row = [workload]
-            for n in neuron_counts:
-                eval_row = _pf_row(evaluation, workload,
-                                   PathfinderConfig(n_neurons=n,
-                                                    labels_per_neuron=labels))
-                row.append(eval_row.speedup)
+            for _ in neuron_counts:
+                row.append(next(flat).speedup)
             rows.append(row)
         mean_row = ["MEAN"]
         for i, n in enumerate(neuron_counts):
@@ -380,7 +378,8 @@ def _table8_stats(trace: Trace, window: int = 1000) -> Tuple[int, int, int]:
 # ---------------------------------------------------------------------------
 
 def experiment_fig7(n_accesses: int = 4000, seed: int = 1,
-                    workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+                    workloads: Optional[Sequence[str]] = None,
+                    jobs: int = 1) -> ExperimentResult:
     """IPC improvement of the 1-tick variant over the 32-tick variant.
 
     The paper's Figure 7 shows the difference is tiny (the 1-tick
@@ -390,9 +389,12 @@ def experiment_fig7(n_accesses: int = 4000, seed: int = 1,
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
     rows: TableRows = []
     result = ExperimentResult("fig7", "1-tick vs 32-tick IPC")
+    cells = [(workload, PathfinderConfig(one_tick=one_tick))
+             for workload in workloads for one_tick in (True, False)]
+    flat = iter(evaluation.run_cells(cells, jobs=jobs))
     for workload in workloads:
-        fast = _pf_row(evaluation, workload, PathfinderConfig(one_tick=True))
-        full = _pf_row(evaluation, workload, PathfinderConfig(one_tick=False))
+        fast = next(flat)
+        full = next(flat)
         improvement = 100.0 * (fast.ipc / full.ipc - 1.0)
         rows.append([workload, full.speedup, fast.speedup,
                      f"{improvement:+.2f}%"])
@@ -414,7 +416,8 @@ def experiment_fig7(n_accesses: int = 4000, seed: int = 1,
 
 def experiment_fig8(n_accesses: int = 20_000, seed: int = 1,
                     workloads: Optional[Sequence[str]] = None,
-                    on_counts: Sequence[int] = (10, 20, 50, 100, 1000, 5000)) -> ExperimentResult:
+                    on_counts: Sequence[int] = (10, 20, 50, 100, 1000, 5000),
+                    jobs: int = 1) -> ExperimentResult:
     """IPC with STDP enabled only for the first K of each 5K accesses."""
     workloads = list(workloads or _SHORT_WORKLOADS)
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
@@ -422,14 +425,17 @@ def experiment_fig8(n_accesses: int = 20_000, seed: int = 1,
     result = ExperimentResult("fig8", "Periodic STDP")
     headers = (["Trace", "always-on"]
                + [f"first {k}/5K" for k in on_counts])
+    cells = []
     for workload in workloads:
-        always = _pf_row(evaluation, workload, PathfinderConfig())
-        row = [workload, always.speedup]
-        for k in on_counts:
-            gated = _pf_row(evaluation, workload,
-                            PathfinderConfig(stdp_epoch=5000,
-                                             stdp_on_accesses=k))
-            row.append(gated.speedup)
+        cells.append((workload, PathfinderConfig()))
+        cells.extend((workload, PathfinderConfig(stdp_epoch=5000,
+                                                 stdp_on_accesses=k))
+                     for k in on_counts)
+    flat = iter(evaluation.run_cells(cells, jobs=jobs))
+    for workload in workloads:
+        row = [workload, next(flat).speedup]
+        for _ in on_counts:
+            row.append(next(flat).speedup)
         rows.append(row)
     mean_row = ["MEAN", geometric_mean([r[1] for r in rows])]
     result.metrics["speedup:always"] = mean_row[1]
@@ -469,16 +475,20 @@ VARIANTS: Dict[str, PathfinderConfig] = {
 
 
 def experiment_fig9(n_accesses: int = 4000, seed: int = 1,
-                    workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+                    workloads: Optional[Sequence[str]] = None,
+                    jobs: int = 1) -> ExperimentResult:
     """The implementation-variant ladder (paper Figure 9)."""
     workloads = list(workloads or _SHORT_WORKLOADS)
     evaluation = Evaluation(n_accesses=n_accesses, seed=seed)
     rows: TableRows = []
     result = ExperimentResult("fig9", "PATHFINDER variant ladder")
+    cells = [(workload, config) for workload in workloads
+             for config in VARIANTS.values()]
+    flat = iter(evaluation.run_cells(cells, jobs=jobs))
     for workload in workloads:
         row = [workload]
-        for config in VARIANTS.values():
-            row.append(_pf_row(evaluation, workload, config).speedup)
+        for _ in VARIANTS:
+            row.append(next(flat).speedup)
         rows.append(row)
     mean_row = ["MEAN"]
     for i, name in enumerate(VARIANTS):
@@ -531,7 +541,8 @@ def experiment_table9() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 def experiment_ablation_ensemble(n_accesses: int = 16_000, seed: int = 1,
-                                 workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+                                 workloads: Optional[Sequence[str]] = None,
+                                 jobs: int = 1) -> ExperimentResult:
     """Ensemble-policy ablation (paper future work, §5 and §3.4).
 
     Compares PATHFINDER alone, the paper's fixed-priority PF+NL+SISB,
@@ -544,10 +555,12 @@ def experiment_ablation_ensemble(n_accesses: int = 16_000, seed: int = 1,
              "pathfinder+coldpage")
     rows: TableRows = []
     result = ExperimentResult("ablation_ensemble", "Ensemble policies")
+    cells = [(workload, name) for workload in workloads for name in names]
+    flat = iter(evaluation.run_cells(cells, jobs=jobs))
     for workload in workloads:
         row = [workload]
-        for name in names:
-            row.append(evaluation.run(workload, name).speedup)
+        for _ in names:
+            row.append(next(flat).speedup)
         rows.append(row)
     mean_row = ["MEAN"]
     for i, name in enumerate(names):
@@ -565,7 +578,8 @@ def experiment_ablation_ensemble(n_accesses: int = 16_000, seed: int = 1,
 
 
 def experiment_ablation_snn(n_accesses: int = 12_000, seed: int = 1,
-                            workloads: Optional[Sequence[str]] = None) -> ExperimentResult:
+                            workloads: Optional[Sequence[str]] = None,
+                            jobs: int = 1) -> ExperimentResult:
     """SNN-mechanism ablation.
 
     Quantifies the implementation choices DESIGN.md documents as
@@ -584,12 +598,14 @@ def experiment_ablation_snn(n_accesses: int = 12_000, seed: int = 1,
     }
     result = ExperimentResult("ablation_snn", "SNN mechanism ablation")
     rows: TableRows = []
-    for workload in workloads:
+    cells = [(workload, config) for workload in workloads
+             for config in variants.values()]
+    cell_rows = evaluation.run_cells(cells, jobs=jobs)
+    for index, workload in enumerate(workloads):
+        block = cell_rows[index * len(variants):(index + 1) * len(variants)]
         for metric in ("speedup", "accuracy"):
             row = [f"{workload} ({metric})"]
-            for config in variants.values():
-                row.append(getattr(_pf_row(evaluation, workload, config),
-                                   metric))
+            row.extend(getattr(eval_row, metric) for eval_row in block)
             rows.append(row)
     for i, name in enumerate(variants):
         acc_values = [r[i + 1] for r in rows[1::2]]

@@ -1,0 +1,175 @@
+"""Wall-clock perf-regression benchmark for the prefetcher pipeline.
+
+The evaluation pipeline has three timed phases per (workload,
+prefetcher) cell — trace generation, prefetch-file generation, and
+simulator replay — and the SNN fast path (see docs/architecture.md,
+"Performance") lives or dies by the middle one.  This module measures
+all three at fixed seeds and writes a schema-versioned JSON report
+(``BENCH_perf.json`` at the repo root) so a slowdown shows up as a
+reviewable diff rather than an anecdote.
+
+Timings use the min over ``repeats`` runs (the least-noisy estimator
+for wall-clock benchmarks); everything else in the report — speedup,
+accuracy, issued counts — is deterministic at a fixed seed and doubles
+as a correctness fingerprint for the timed code path.
+
+``repro bench`` is the CLI entry point; ``benchmarks/perf/validate.py``
+checks a report against :func:`validate_bench` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sim import simulate
+from ..traces import make_trace
+from .runner import default_hierarchy, make_prefetcher, run_prefetcher
+
+#: Bump when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The default lineup: the cheap table prefetchers bracket PATHFINDER
+#: so a regression report localises the slowdown to one pipeline.
+DEFAULT_PREFETCHERS = ("nextline", "bo", "spp", "sisb", "pathfinder")
+
+#: ``--small`` preset: enough accesses for every phase to be non-trivial
+#: but quick enough for a CI smoke step.
+SMALL_PREFETCHERS = ("nextline", "spp", "pathfinder")
+SMALL_N_ACCESSES = 1500
+
+_PHASE_KEYS = ("prefetch_file_s", "replay_s")
+_REQUIRED_TOP = ("schema_version", "workload", "n_accesses", "seed",
+                 "budget", "repeats", "environment", "trace_gen_s",
+                 "baseline_replay_s", "prefetchers")
+
+
+def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
+              workload: str = "cc-5",
+              n_accesses: int = 20_000,
+              seed: int = 1,
+              budget: int = 2,
+              repeats: int = 1) -> Dict:
+    """Time every pipeline phase for each prefetcher at a fixed seed.
+
+    Returns the report dict (see module docstring); it always passes
+    :func:`validate_bench`.
+    """
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    if not prefetchers:
+        raise ConfigError("need at least one prefetcher")
+    for name in prefetchers:
+        make_prefetcher(name)  # fail fast on unknown names
+
+    hierarchy = default_hierarchy()
+
+    trace_gen_s = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        trace = make_trace(workload, n_accesses, seed=seed)
+        trace_gen_s.append(time.perf_counter() - start)
+
+    baseline_replay_s = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        baseline = simulate(trace, config=hierarchy)
+        baseline_replay_s.append(time.perf_counter() - start)
+
+    per_prefetcher: Dict[str, Dict] = {}
+    for name in prefetchers:
+        best: Optional[Dict[str, float]] = None
+        row = None
+        for _ in range(repeats):
+            # A fresh prefetcher per repeat: learning state must not
+            # leak between runs or the later repeats time a different
+            # (warmer) workload than the first.
+            row = run_prefetcher(trace, make_prefetcher(name), baseline,
+                                 hierarchy=hierarchy, budget=budget)
+            if best is None:
+                best = dict(row.timings)
+            else:
+                for key in _PHASE_KEYS:
+                    best[key] = min(best[key], row.timings[key])
+        assert best is not None and row is not None
+        per_prefetcher[name] = {
+            "prefetch_file_s": best["prefetch_file_s"],
+            "replay_s": best["replay_s"],
+            "speedup": row.speedup,
+            "accuracy": row.accuracy,
+            "coverage": row.coverage,
+            "issued": row.issued,
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": workload,
+        "n_accesses": n_accesses,
+        "seed": seed,
+        "budget": budget,
+        "repeats": repeats,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "trace_gen_s": min(trace_gen_s),
+        "baseline_replay_s": min(baseline_replay_s),
+        "prefetchers": per_prefetcher,
+    }
+
+
+def validate_bench(report: Dict) -> None:
+    """Raise :class:`ConfigError` unless ``report`` is a well-formed
+    perf report this code can compare against."""
+    if not isinstance(report, dict):
+        raise ConfigError("perf report must be a JSON object")
+    missing = [key for key in _REQUIRED_TOP if key not in report]
+    if missing:
+        raise ConfigError(f"perf report missing keys: {missing}")
+    if report["schema_version"] != SCHEMA_VERSION:
+        raise ConfigError(
+            f"perf report schema_version {report['schema_version']!r} != "
+            f"supported {SCHEMA_VERSION}")
+    for key in ("trace_gen_s", "baseline_replay_s"):
+        value = report[key]
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ConfigError(f"perf report {key} must be non-negative")
+    cells = report["prefetchers"]
+    if not isinstance(cells, dict) or not cells:
+        raise ConfigError("perf report needs a non-empty 'prefetchers' map")
+    for name, cell in cells.items():
+        if not isinstance(cell, dict):
+            raise ConfigError(f"perf report entry {name!r} must be an object")
+        for key in _PHASE_KEYS:
+            value = cell.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ConfigError(
+                    f"perf report entry {name!r} needs non-negative {key!r}")
+        for key in ("speedup", "accuracy", "coverage", "issued"):
+            if key not in cell:
+                raise ConfigError(
+                    f"perf report entry {name!r} missing {key!r}")
+
+
+def save_bench(report: Dict, path) -> None:
+    """Validate and write a report as pretty-printed JSON."""
+    validate_bench(report)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=False)
+                          + "\n")
+
+
+def load_bench(path) -> Dict:
+    """Read and validate a report written by :func:`save_bench`."""
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"cannot read perf report {path}: {exc}") from exc
+    validate_bench(report)
+    return report

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import statistics
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core import PathfinderPrefetcher
+from ..core import PathfinderConfig, PathfinderPrefetcher
 from ..errors import ConfigError
 from ..obs import Observability
 from ..prefetchers import (
@@ -95,6 +96,17 @@ def make_prefetcher(name: str) -> Prefetcher:
         raise ConfigError(f"unknown prefetcher {name!r}; known: {known}") from None
 
 
+#: A grid cell's prefetcher: a registry name or an explicit PATHFINDER
+#: configuration (the sensitivity experiments sweep configs directly).
+CellSpec = Union[str, PathfinderConfig]
+
+
+def _spec_prefetcher(spec: CellSpec) -> Prefetcher:
+    if isinstance(spec, str):
+        return make_prefetcher(spec)
+    return PathfinderPrefetcher(spec)
+
+
 @dataclass
 class EvalRow:
     """One (workload, prefetcher) measurement.
@@ -158,6 +170,24 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
         timings=timings)
 
 
+def _run_cell_task(task: Tuple) -> Tuple[EvalRow, Optional[object]]:
+    """Worker-process body for one parallel grid cell.
+
+    Receives everything it needs as picklable values (trace, baseline,
+    cell spec, hierarchy, budget).  When the parent session is
+    observed, the worker records into a private
+    :class:`~repro.obs.Observability` bundle and ships its registry
+    back for the parent to :meth:`~repro.obs.MetricsRegistry.merge`;
+    tracer sinks stay parent-side (file handles don't cross process
+    boundaries).
+    """
+    trace, baseline, spec, hierarchy, budget, observe = task
+    obs = Observability() if observe else None
+    row = run_prefetcher(trace, _spec_prefetcher(spec), baseline,
+                         hierarchy=hierarchy, budget=budget, obs=obs)
+    return row, (obs.registry if obs is not None else None)
+
+
 @dataclass
 class Evaluation:
     """A (workloads × prefetchers) grid runner with caching.
@@ -165,6 +195,12 @@ class Evaluation:
     Traces and their no-prefetch baselines are generated once and
     reused across prefetchers, so every prefetcher sees the identical
     access stream — the paper's fairness requirement (§4.5).
+
+    Grid entry points accept ``jobs``: with ``jobs > 1`` cells fan out
+    over a :class:`~concurrent.futures.ProcessPoolExecutor`, one task
+    per cell, and rows come back in the same deterministic order the
+    serial path produces (each cell is an independent, seeded run, so
+    the values are identical too — only wall-clock timings differ).
     """
 
     n_accesses: int = 20_000
@@ -208,14 +244,50 @@ class Evaluation:
                               hierarchy=self.hierarchy, budget=self.budget,
                               obs=self._obs())
 
-    def run_grid(self, workloads: Sequence[str],
-                 prefetchers: Sequence[str]) -> List[EvalRow]:
-        """Evaluate the full grid, row-major by workload."""
+    def run_config(self, workload: str, config: PathfinderConfig) -> EvalRow:
+        """Evaluate an explicit PATHFINDER config on one workload."""
+        return run_prefetcher(self.trace(workload),
+                              PathfinderPrefetcher(config),
+                              self.baseline(workload),
+                              hierarchy=self.hierarchy, budget=self.budget,
+                              obs=self._obs())
+
+    def run_cells(self, cells: Sequence[Tuple[str, CellSpec]],
+                  jobs: int = 1) -> List[EvalRow]:
+        """Evaluate arbitrary (workload, spec) cells, optionally in parallel.
+
+        Args:
+            cells: ``(workload, spec)`` pairs where ``spec`` is a
+                registry prefetcher name or a ``PathfinderConfig``.
+            jobs: Worker processes; ``<= 1`` runs serially in-process.
+
+        Returns:
+            One ``EvalRow`` per cell, in the order given.
+        """
+        cells = list(cells)
+        if jobs <= 1 or len(cells) <= 1:
+            return [self.run(w, spec) if isinstance(spec, str)
+                    else self.run_config(w, spec)
+                    for w, spec in cells]
+        # Traces/baselines are generated in the parent (filling the
+        # caches) so every worker replays the identical access stream.
+        observe = self.obs is not None and self.obs.enabled
+        tasks = [(self.trace(w), self.baseline(w), spec, self.hierarchy,
+                  self.budget, observe) for w, spec in cells]
         rows: List[EvalRow] = []
-        for workload in workloads:
-            for name in prefetchers:
-                rows.append(self.run(workload, name))
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            for row, registry in pool.map(_run_cell_task, tasks):
+                rows.append(row)
+                if registry is not None:
+                    self._obs().registry.merge(registry)
         return rows
+
+    def run_grid(self, workloads: Sequence[str],
+                 prefetchers: Sequence[str],
+                 jobs: int = 1) -> List[EvalRow]:
+        """Evaluate the full grid, row-major by workload."""
+        return self.run_cells([(workload, name) for workload in workloads
+                               for name in prefetchers], jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -235,32 +307,44 @@ def multi_seed_grid(workloads: Sequence[str],
                     prefetchers: Sequence[str],
                     seeds: Sequence[int] = (1, 2, 3),
                     n_accesses: int = 16_000,
-                    hierarchy: Optional[HierarchyConfig] = None
-                    ) -> List[SeedAggregate]:
+                    hierarchy: Optional[HierarchyConfig] = None,
+                    budget: int = 2,
+                    obs: Optional[Observability] = None,
+                    jobs: int = 1) -> List[SeedAggregate]:
     """Run a grid across several trace seeds and aggregate.
 
     Synthetic traces make seed sensitivity a real validity question;
     this helper reports mean and standard deviation of the speedup per
     (workload, prefetcher) so conclusions can be checked for stability.
+
+    Args:
+        budget: Prefetches kept per triggering access (default matches
+            ``Evaluation``'s).
+        obs: Optional observability bundle shared by every per-seed
+            evaluation (phases and metrics all land in one registry).
+        jobs: Worker processes per seed grid; ``<= 1`` stays serial.
     """
     if not seeds:
         raise ConfigError("need at least one seed")
     evaluations = [Evaluation(n_accesses=n_accesses, seed=seed,
-                              hierarchy=hierarchy or default_hierarchy())
+                              hierarchy=hierarchy or default_hierarchy(),
+                              budget=budget, obs=obs)
                    for seed in seeds]
+    cells = [(workload, name) for workload in workloads
+             for name in prefetchers]
+    per_seed = [evaluation.run_cells(cells, jobs=jobs)
+                for evaluation in evaluations]
     aggregates: List[SeedAggregate] = []
-    for workload in workloads:
-        for name in prefetchers:
-            rows = [evaluation.run(workload, name)
-                    for evaluation in evaluations]
-            speedups = [r.speedup for r in rows]
-            aggregates.append(SeedAggregate(
-                workload=workload,
-                prefetcher=name,
-                mean_speedup=statistics.fmean(speedups),
-                std_speedup=(statistics.stdev(speedups)
-                             if len(speedups) > 1 else 0.0),
-                mean_accuracy=statistics.fmean(r.accuracy for r in rows),
-                mean_coverage=statistics.fmean(r.coverage for r in rows),
-                seeds=len(seeds)))
+    for index, (workload, name) in enumerate(cells):
+        rows = [seed_rows[index] for seed_rows in per_seed]
+        speedups = [r.speedup for r in rows]
+        aggregates.append(SeedAggregate(
+            workload=workload,
+            prefetcher=name,
+            mean_speedup=statistics.fmean(speedups),
+            std_speedup=(statistics.stdev(speedups)
+                         if len(speedups) > 1 else 0.0),
+            mean_accuracy=statistics.fmean(r.accuracy for r in rows),
+            mean_coverage=statistics.fmean(r.coverage for r in rows),
+            seeds=len(seeds)))
     return aggregates

@@ -173,6 +173,41 @@ class MetricsRegistry:
         """A view of this registry with ``labels`` pre-bound."""
         return MetricsScope(self, dict(labels))
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        Counters add, gauges take the other registry's value (last
+        write wins, matching :meth:`Gauge.set` semantics), histograms
+        combine bucket counts and summary statistics (bounds must
+        match).  This is how per-worker registries from parallel grid
+        runs land back in the parent session's registry.
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter()
+            mine.value += counter.value
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                mine = self._gauges[key] = Gauge()
+            mine.value = gauge.value
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(histogram.bounds)
+            if mine.bounds != histogram.bounds:
+                raise ConfigError(
+                    f"cannot merge histogram {key!r}: bounds differ")
+            for index, bucket in enumerate(histogram.bucket_counts):
+                mine.bucket_counts[index] += bucket
+            mine.count += histogram.count
+            mine.total += histogram.total
+            if histogram.min < mine.min:
+                mine.min = histogram.min
+            if histogram.max > mine.max:
+                mine.max = histogram.max
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All metrics as one plain, JSON-serialisable dict."""
         return {

@@ -8,6 +8,8 @@ probability proportional to pixel intensity.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..errors import ConfigError
@@ -15,7 +17,8 @@ from ..errors import ConfigError
 
 def poisson_spike_train(rates: np.ndarray, timesteps: int,
                         rng: np.random.Generator,
-                        max_probability: float = 0.5) -> np.ndarray:
+                        max_probability: float = 0.5,
+                        active: Optional[np.ndarray] = None) -> np.ndarray:
     """Sample a Bernoulli (discretised Poisson) spike train.
 
     Args:
@@ -24,6 +27,12 @@ def poisson_spike_train(rates: np.ndarray, timesteps: int,
         rng: Random generator (callers own seeding for determinism).
         max_probability: Per-tick spike probability of a full-intensity
             pixel; intensities scale linearly below it.
+        active: Optional indices of the nonzero-rate pixels.  When
+            given, Bernoulli trials are evaluated only for those pixels
+            (zero-rate pixels can never spike); the underlying random
+            draw still covers the full ``(timesteps, n_inputs)`` block
+            so the generator state — and therefore every later sample —
+            stays bit-identical to the dense path.
 
     Returns:
         Boolean array of shape ``(timesteps, n_inputs)``.
@@ -41,4 +50,10 @@ def poisson_spike_train(rates: np.ndarray, timesteps: int,
     if rates.size and (rates.min() < 0.0 or rates.max() > 1.0):
         raise ConfigError("pixel intensities must lie in [0, 1]")
     probabilities = rates * max_probability
-    return rng.random((timesteps, rates.size)) < probabilities
+    uniforms = rng.random((timesteps, rates.size))
+    if active is None:
+        return uniforms < probabilities
+    spikes = np.zeros((timesteps, rates.size), dtype=bool)
+    if active.size:
+        spikes[:, active] = uniforms[:, active] < probabilities[active]
+    return spikes

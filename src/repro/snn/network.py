@@ -19,7 +19,7 @@ the 1-tick approximation of §3.4 ("Lowering Time Interval").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -88,6 +88,10 @@ class RunRecord:
         next_best_potential: Final potential of the best non-winning
             neuron (the paper's Table 2 column).
         voltage_trace: Optional per-tick potentials, ``(ticks, n)``.
+        ranked_winners: Precomputed :meth:`winners` ranking, most
+            spikes first, when the producer already knows it (the
+            1-tick fast path has exactly one firing neuron); ``None``
+            falls back to ranking ``spike_counts``.
     """
 
     spike_counts: np.ndarray
@@ -97,20 +101,37 @@ class RunRecord:
     potentials_first_tick: np.ndarray
     next_best_potential: float
     voltage_trace: Optional[np.ndarray] = None
+    ranked_winners: Optional[Tuple[int, ...]] = None
 
     def winners(self, k: int) -> List[int]:
         """Indices of up to ``k`` firing neurons, most spikes first."""
+        if self.ranked_winners is not None:
+            return list(self.ranked_winners[:k])
         firing = np.flatnonzero(self.spike_counts > 0)
         ranked = firing[np.argsort(-self.spike_counts[firing], kind="stable")]
         return [int(i) for i in ranked[:k]]
 
 
 class DiehlCookNetwork:
-    """Runnable Diehl & Cook SNN with continuous STDP learning."""
+    """Runnable Diehl & Cook SNN with continuous STDP learning.
+
+    Args:
+        config: Network hyper-parameters.
+        stdp: Learning-rule configuration (defaults to
+            :class:`~repro.snn.stdp.STDPConfig`).
+        exc_lif: Excitatory-layer membrane parameters.
+        fast: Use the sparse-aware 1-tick hot paths (active-pixel
+            drive, winner-column STDP/normalisation).  The fast paths
+            produce the same winners as the dense reference
+            implementations (``*_reference`` methods), which are
+            retained for parity testing; set ``False`` to force the
+            reference code everywhere.
+    """
 
     def __init__(self, config: NetworkConfig,
                  stdp: Optional[STDPConfig] = None,
-                 exc_lif: Optional[LIFConfig] = None):
+                 exc_lif: Optional[LIFConfig] = None,
+                 fast: bool = True):
         self.config = config
         self.stdp = stdp if stdp is not None else STDPConfig()
         self.rng = np.random.default_rng(config.seed)
@@ -122,6 +143,34 @@ class DiehlCookNetwork:
                                        init_density=config.init_density)
         self.learning_enabled = True
         self.intervals_presented = 0
+        self.fast = fast
+        # Per-tick scratch for present(): excitatory→inhibitory drive
+        # and the lateral-inhibition current (hoisted out of the loop).
+        self._exc_drive_buf = np.empty(config.n_neurons, dtype=float)
+        self._inh_current_buf = np.zeros(config.n_neurons, dtype=float)
+        self._neg_inh = -config.inh * config.inhibition_scale
+        # 1-tick scratch: active-row gather, drive/gap/score vectors,
+        # and the winner-column STDP workspace.  All are overwritten
+        # before use; anything a RunRecord keeps is freshly allocated.
+        self._rows_buf = np.empty((config.n_input, config.n_neurons),
+                                  dtype=float)
+        self._drive_buf = np.empty(config.n_neurons, dtype=float)
+        self._gap_buf = np.empty(config.n_neurons, dtype=float)
+        self._score_buf = np.empty(config.n_neurons, dtype=float)
+        self._neg_score_buf = np.empty(config.n_neurons, dtype=float)
+        self._column_buf = np.empty(config.n_input, dtype=float)
+        # theta decays by decay**timesteps per presented interval.
+        self._theta_interval_decay = self.exc._theta_decay ** config.timesteps
+        self._threshold_gap = self.exc.config.threshold_gap
+        # theta never goes negative while theta_plus >= 0, so when the
+        # base gap already clears the 1e-9 floor the per-query clamp is
+        # a guaranteed no-op and can be skipped bit-identically.
+        self._gap_needs_clamp = not (self._threshold_gap > 1e-9
+                                     and self.exc.config.theta_plus >= 0.0)
+        # Rank-1 STDP constants: depression applied to every pixel of
+        # the winner column, potentiation for full-intensity pixels.
+        self._stdp_d0 = self.stdp.nu_post * (0.0 - self.stdp.x_target)
+        self._stdp_d1 = self.stdp.nu_post * (1.0 - self.stdp.x_target)
 
     # -- full multi-tick simulation ----------------------------------------
 
@@ -154,25 +203,28 @@ class DiehlCookNetwork:
         scale = 1.0
         tick_base = 0
 
+        inh_current = self._inh_current_buf
         while True:
             self.exc.reset_state()
             self.inh.reset_state()
             self.input_to_exc.reset_traces()
             scaled = np.clip(rates * scale, 0.0, 1.0)
+            active = np.flatnonzero(scaled) if self.fast else None
             spikes_in = poisson_spike_train(scaled, cfg.timesteps, self.rng,
-                                            cfg.max_probability)
-            inh_current = np.zeros(cfg.n_neurons)
+                                            cfg.max_probability,
+                                            active=active)
+            inh_current.fill(0.0)
             for tick in range(cfg.timesteps):
                 pre = spikes_in[tick]
                 current = self.input_to_exc.currents(pre) + inh_current
                 exc_spikes = self.exc.step(current)
                 inh_spikes = self.inh.step(
-                    np.where(exc_spikes, cfg.exc, 0.0))
+                    np.multiply(exc_spikes, cfg.exc, out=self._exc_drive_buf))
                 # Each firing inhibitory neuron suppresses every *other*
                 # excitatory neuron.
                 n_fired = int(inh_spikes.sum())
-                inh_current = (-cfg.inh * cfg.inhibition_scale
-                               * (n_fired - inh_spikes.astype(float)))
+                np.subtract(float(n_fired), inh_spikes, out=inh_current)
+                np.multiply(inh_current, self._neg_inh, out=inh_current)
                 if do_learn:
                     self.input_to_exc.learn(pre, exc_spikes)
                 spike_counts += exc_spikes
@@ -211,7 +263,8 @@ class DiehlCookNetwork:
 
     # -- 1-tick approximation (paper §3.4) ----------------------------------
 
-    def rank_one_tick(self, rates: np.ndarray) -> np.ndarray:
+    def rank_one_tick(self, rates: np.ndarray,
+                      active: Optional[np.ndarray] = None) -> np.ndarray:
         """Score neurons by expected potential after a single tick.
 
         The paper's low-cost variant assumes the neuron with the highest
@@ -223,9 +276,41 @@ class DiehlCookNetwork:
         time-to-fire — making the approximation deterministic while
         honouring threshold adaptation.
 
+        On the fast path the drive is accumulated from the active-pixel
+        rows of the weight matrix only (the pixel matrix lights at most
+        ``H * (1 + 2 * enlarge_radius)`` of its D×H pixels), which is
+        an order of magnitude less arithmetic than the dense matvec of
+        :meth:`rank_one_tick_reference`.
+
+        Args:
+            rates: Pixel intensities, shape ``(n_input,)``.
+            active: Optional precomputed ``np.flatnonzero(rates)``
+                (e.g. from the encoder's cache), saving the scan.
+
         Returns:
             Score vector; ``argmax`` is the predicted winner.
         """
+        if not self.fast:
+            return self.rank_one_tick_reference(rates)
+        rates = np.asarray(rates, dtype=float)
+        if active is None:
+            active = np.flatnonzero(rates)
+        w = self.input_to_exc.w
+        if active.size == 0:
+            drive = np.zeros(w.shape[1])
+        else:
+            r = rates[active]
+            if r.min() == 1.0 == r.max():
+                # Binary pixels (the encoder's only output): sum the
+                # active rows, then scale once.
+                drive = self.config.max_probability * w[active].sum(axis=0)
+            else:
+                drive = (r * self.config.max_probability) @ w[active]
+        gap = self.exc.config.threshold_gap + self.exc.theta
+        return drive / np.maximum(gap, 1e-9)
+
+    def rank_one_tick_reference(self, rates: np.ndarray) -> np.ndarray:
+        """Dense reference implementation of :meth:`rank_one_tick`."""
         rates = np.asarray(rates, dtype=float)
         expected = rates * self.config.max_probability
         drive = expected @ self.input_to_exc.w
@@ -237,7 +322,9 @@ class DiehlCookNetwork:
         return int(np.argmax(self.rank_one_tick(rates)))
 
     def present_one_tick(self, rates: np.ndarray,
-                         learn: Optional[bool] = None) -> RunRecord:
+                         learn: Optional[bool] = None,
+                         active: Optional[np.ndarray] = None,
+                         binary: Optional[bool] = None) -> RunRecord:
         """Process one input entirely in 1-tick mode (paper Fig 9 variant).
 
         The winner is the deterministic :meth:`rank_one_tick` argmax;
@@ -247,6 +334,118 @@ class DiehlCookNetwork:
         best design point uses — orders of magnitude cheaper than the
         full multi-tick simulation while tracking its behaviour
         (paper Table 1 / Figure 7).
+
+        The fast path (``self.fast``) restricts the rank-1 STDP update
+        and the per-presentation renormalisation to the single touched
+        winner column; untouched columns keep the sum they were last
+        normalised to, so their re-scale would be a no-op anyway.  The
+        dense reference is kept as :meth:`present_one_tick_reference`
+        and the parity tests assert both produce the same winners and
+        prefetch files.
+
+        ``binary=True`` asserts every active pixel is at full intensity
+        (the pixel-matrix encoder's only output), skipping the per-query
+        check; pass ``None`` to detect it from the rates.
+        """
+        if not self.fast:
+            return self.present_one_tick_reference(rates, learn=learn)
+        if active is None:
+            rates = np.asarray(rates, dtype=float)
+            if rates.shape != (self.config.n_input,):
+                raise ConfigError(
+                    f"rates shape {rates.shape} != ({self.config.n_input},)")
+            active = np.flatnonzero(rates)
+        do_learn = self.learning_enabled if learn is None else learn
+        exc = self.exc
+        w = self.input_to_exc.w
+        n_active = active.size
+
+        # Inlined rank_one_tick on scratch buffers (same arithmetic).
+        gap = np.add(exc.theta, self._threshold_gap, out=self._gap_buf)
+        if self._gap_needs_clamp:
+            np.maximum(gap, 1e-9, out=gap)
+        if n_active:
+            if binary is None:
+                r = rates[active]
+                binary = bool(r.min() == 1.0 == r.max())
+            if binary:
+                rows = w.take(active, axis=0, out=self._rows_buf[:n_active])
+                drive = np.add.reduce(rows, axis=0, out=self._drive_buf)
+                np.multiply(drive, self.config.max_probability, out=drive)
+            else:
+                r = rates[active]
+                drive = np.matmul(r * self.config.max_probability, w[active],
+                                  out=self._drive_buf)
+        else:
+            binary = True
+            drive = self._drive_buf
+            drive.fill(0.0)
+        scores = np.divide(drive, gap, out=self._score_buf)
+        order = np.negative(scores, out=self._neg_score_buf).argsort()
+        winner = int(order[0])
+        runner_up = int(order[1]) if scores.size > 1 else winner
+
+        if do_learn:
+            stdp = self.input_to_exc.stdp
+            if stdp is not None:
+                # Winner-column STDP: quiet pixels all receive the same
+                # depression ``nu_post * (0 - x_target)``; only the
+                # active pixels need the potentiation term.
+                column = np.add(w[:, winner], self._stdp_d0,
+                                out=self._column_buf)
+                if n_active:
+                    if binary:
+                        # rows still holds the w[active] gather from the
+                        # drive computation; its winner column is the
+                        # same values as w[active, winner].
+                        column[active] = rows[:, winner] + self._stdp_d1
+                    else:
+                        column[active] = (w[active, winner]
+                                          + stdp.nu_post * (r - stdp.x_target))
+                np.maximum(column, stdp.w_min, out=column)
+                np.minimum(column, stdp.w_max, out=column)
+                if stdp.norm is not None:
+                    # add.reduce is ndarray.sum without the wrapper hop
+                    # (same pairwise 1-D reduction, bit-identical).
+                    total = np.add.reduce(column)
+                    if total == 0.0:
+                        total = 1.0
+                    column *= stdp.norm / total
+                w[:, winner] = column
+            # One emulated spike of threshold adaptation, applied to
+            # the winner alone (same arithmetic as AdaptiveLIFGroup.
+            # _on_spike with a one-hot spike vector).
+            exc.adaptation_enabled = True
+            lif = exc.config
+            if lif.theta_plus:
+                if lif.theta_max is not None:
+                    room = max(0.0, 1.0 - exc.theta[winner] / lif.theta_max)
+                    exc.theta[winner] += lif.theta_plus * room
+                else:
+                    exc.theta[winner] += lif.theta_plus
+            np.multiply(exc.theta, self._theta_interval_decay, out=exc.theta)
+
+        self.intervals_presented += 1
+        counts = np.zeros(self.config.n_neurons, dtype=int)
+        counts[winner] = 1
+        potentials = exc.config.rest + scores
+        return RunRecord(
+            spike_counts=counts,
+            winner=winner,
+            first_spike_tick=0,
+            boosts_used=0,
+            potentials_first_tick=potentials,
+            next_best_potential=float(potentials[runner_up]),
+            ranked_winners=(winner,),
+        )
+
+    def present_one_tick_reference(self, rates: np.ndarray,
+                                   learn: Optional[bool] = None) -> RunRecord:
+        """Dense reference implementation of :meth:`present_one_tick`.
+
+        Applies the rank-1 STDP update to the full weight matrix and
+        renormalises every column, exactly as the pre-optimisation code
+        did; retained for the fast-path parity tests.
         """
         rates = np.asarray(rates, dtype=float)
         if rates.shape != (self.config.n_input,):
@@ -254,7 +453,7 @@ class DiehlCookNetwork:
                 f"rates shape {rates.shape} != ({self.config.n_input},)")
         do_learn = self.learning_enabled if learn is None else learn
 
-        scores = self.rank_one_tick(rates)
+        scores = self.rank_one_tick_reference(rates)
         order = np.argsort(-scores)
         winner = int(order[0])
         runner_up = int(order[1]) if scores.size > 1 else winner

@@ -15,6 +15,7 @@ advances the whole group by one tick (``dt = 1``, paper Table 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -51,7 +52,7 @@ class LIFConfig:
     refractory: int = 5
     theta_plus: float = 0.05
     tc_theta_decay: float = 1e7
-    theta_max: float = None  # type: ignore[assignment]
+    theta_max: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.tc_decay <= 0 or self.tc_theta_decay <= 0:
@@ -85,6 +86,11 @@ class LIFGroup:
         self.v = np.full(size, config.rest, dtype=float)
         self.refractory_left = np.zeros(size, dtype=int)
         self._decay = float(np.exp(-1.0 / config.tc_decay))
+        # Per-tick scratch reused across steps: the constant threshold
+        # vector and the refractory mask (allocating these every tick
+        # dominated the step cost at these tiny group sizes).
+        self._threshold_vec = np.full(size, config.threshold, dtype=float)
+        self._active_buf = np.empty(size, dtype=bool)
 
     def step(self, current: np.ndarray) -> np.ndarray:
         """Advance one tick with the given input ``current`` per neuron.
@@ -94,19 +100,25 @@ class LIFGroup:
         """
         cfg = self.config
         # Leak toward rest, then integrate (refractory neurons hold).
-        self.v = cfg.rest + self._decay * (self.v - cfg.rest)
-        active = self.refractory_left == 0
-        self.v = np.where(active, self.v + current, self.v)
-        self.refractory_left = np.maximum(self.refractory_left - 1, 0)
-        spikes = active & (self.v >= self._effective_threshold())
+        # In-place form of ``rest + decay * (v - rest)`` followed by a
+        # masked integrate; bit-identical to the allocating version.
+        v = self.v
+        np.subtract(v, cfg.rest, out=v)
+        np.multiply(v, self._decay, out=v)
+        np.add(v, cfg.rest, out=v)
+        active = np.equal(self.refractory_left, 0, out=self._active_buf)
+        np.add(v, current, out=v, where=active)
+        np.subtract(self.refractory_left, 1, out=self.refractory_left)
+        np.maximum(self.refractory_left, 0, out=self.refractory_left)
+        spikes = active & (v >= self._effective_threshold())
         if spikes.any():
-            self.v[spikes] = cfg.reset
+            v[spikes] = cfg.reset
             self.refractory_left[spikes] = cfg.refractory
             self._on_spike(spikes)
         return spikes
 
     def _effective_threshold(self) -> np.ndarray:
-        return np.full(self.size, self.config.threshold)
+        return self._threshold_vec
 
     def _on_spike(self, spikes: np.ndarray) -> None:
         """Hook for subclasses (threshold adaptation)."""
@@ -129,6 +141,7 @@ class AdaptiveLIFGroup(LIFGroup):
         self.theta = np.zeros(size, dtype=float)
         self._theta_decay = float(np.exp(-1.0 / config.tc_theta_decay))
         self.adaptation_enabled = True
+        self._threshold_buf = np.empty(size, dtype=float)
 
     def step(self, current: np.ndarray) -> np.ndarray:
         if self.adaptation_enabled:
@@ -136,7 +149,8 @@ class AdaptiveLIFGroup(LIFGroup):
         return super().step(current)
 
     def _effective_threshold(self) -> np.ndarray:
-        return self.config.threshold + self.theta
+        return np.add(self.theta, self.config.threshold,
+                      out=self._threshold_buf)
 
     def _on_spike(self, spikes: np.ndarray) -> None:
         if not self.adaptation_enabled:

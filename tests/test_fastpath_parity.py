@@ -1,0 +1,165 @@
+"""Fast-path vs reference parity for the sparse SNN/encoder hot paths.
+
+The optimised implementations (table-driven encoding, active-pixel
+drive, winner-column STDP, sparse Poisson sampling) each retain their
+dense reference twin; these tests assert the two agree — same
+encodings, same winners, same learned state, and, end to end, the same
+prefetch file — across the Figure-9 config toggles and random inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PathfinderConfig, PathfinderPrefetcher
+from repro.core.pixel import PixelMatrixEncoder
+from repro.prefetchers import generate_prefetches
+from repro.snn.network import DiehlCookNetwork, NetworkConfig
+from repro.traces import make_trace
+
+#: The §3.4 refinement toggles the ablation ladder sweeps.
+ENCODER_VARIANTS = [
+    dict(enlarge_pixels=False, reorder_pixels=False),
+    dict(enlarge_pixels=True, reorder_pixels=False),
+    dict(enlarge_pixels=True, reorder_pixels=True),
+    dict(enlarge_pixels=True, reorder_pixels=True, middle_shift=3),
+    dict(enlarge_pixels=True, reorder_pixels=False, delta_range=31,
+         history=5),
+]
+
+
+def _random_histories(config, rng, n):
+    bound = config.max_delta
+    return [list(rng.integers(-bound, bound + 1, size=config.history))
+            for _ in range(n)]
+
+
+@pytest.mark.parametrize("overrides", ENCODER_VARIANTS)
+def test_encode_matches_reference(overrides):
+    config = PathfinderConfig(**overrides)
+    encoder = PixelMatrixEncoder(config)
+    rng = np.random.default_rng(7)
+    for deltas in _random_histories(config, rng, 50):
+        fast = encoder.encode(deltas)
+        reference = encoder.encode_reference(deltas)
+        assert np.array_equal(fast, reference)
+
+
+@pytest.mark.parametrize("overrides", ENCODER_VARIANTS)
+def test_encode_history_sparse_matches_dense(overrides):
+    config = PathfinderConfig(**overrides)
+    encoder = PixelMatrixEncoder(config)
+    rng = np.random.default_rng(11)
+    # Mix of full histories, short histories, and offset-only starts —
+    # the sparse path must reproduce every cold-page special case.
+    cases = [(deltas, None) for deltas in _random_histories(config, rng, 30)]
+    cases += [(deltas[:k], None)
+              for deltas in _random_histories(config, rng, 10)
+              for k in (0, 1, 2)]
+    cases += [([], int(offset)) for offset in rng.integers(0, 64, size=5)]
+    for deltas, first_offset in cases:
+        dense = encoder.encode_history(deltas, first_offset=first_offset)
+        sparse = encoder.encode_history_sparse(deltas,
+                                               first_offset=first_offset)
+        if dense is None:
+            assert sparse is None
+            continue
+        assert np.array_equal(sparse.rates, dense)
+        assert np.array_equal(sparse.active, np.flatnonzero(dense))
+
+
+def test_encode_history_sparse_cache_hits_are_shared():
+    encoder = PixelMatrixEncoder(PathfinderConfig())
+    first = encoder.encode_history_sparse([1, 2, 4])
+    again = encoder.encode_history_sparse([1, 2, 4])
+    assert again is first
+    assert encoder.cache_hits == 1 and encoder.cache_misses == 1
+    assert not first.rates.flags.writeable
+
+
+def _twin_networks(n_input, seed=3, **net_overrides):
+    cfg_kwargs = dict(n_input=n_input, n_neurons=20, seed=seed,
+                      **net_overrides)
+    fast = DiehlCookNetwork(NetworkConfig(**cfg_kwargs), fast=True)
+    reference = DiehlCookNetwork(NetworkConfig(**cfg_kwargs), fast=False)
+    assert np.array_equal(fast.weights, reference.weights)
+    return fast, reference
+
+
+@pytest.mark.parametrize("overrides", ENCODER_VARIANTS)
+def test_rank_one_tick_matches_reference(overrides):
+    config = PathfinderConfig(**overrides)
+    encoder = PixelMatrixEncoder(config)
+    rng = np.random.default_rng(13)
+    fast, reference = _twin_networks(config.n_input)
+    for deltas in _random_histories(config, rng, 25):
+        encoding = encoder.encode_history_sparse(deltas)
+        scores_fast = fast.rank_one_tick(encoding.rates,
+                                         active=encoding.active)
+        scores_ref = reference.rank_one_tick(encoding.rates)
+        assert int(np.argmax(scores_fast)) == int(np.argmax(scores_ref))
+        np.testing.assert_allclose(scores_fast, scores_ref, rtol=1e-12)
+    # Non-binary rates exercise the slice-matvec fallback.
+    rates = np.zeros(config.n_input)
+    hot = rng.choice(config.n_input, size=12, replace=False)
+    rates[hot] = rng.uniform(0.2, 0.9, size=12)
+    np.testing.assert_allclose(
+        fast.rank_one_tick(rates), reference.rank_one_tick(rates),
+        rtol=1e-12)
+
+
+@pytest.mark.parametrize("overrides", ENCODER_VARIANTS)
+def test_present_one_tick_matches_reference(overrides):
+    config = PathfinderConfig(**overrides)
+    encoder = PixelMatrixEncoder(config)
+    rng = np.random.default_rng(17)
+    fast, reference = _twin_networks(config.n_input)
+    for step, deltas in enumerate(_random_histories(config, rng, 60)):
+        encoding = encoder.encode_history_sparse(deltas)
+        rec_fast = fast.present_one_tick(encoding.rates, learn=True,
+                                         active=encoding.active)
+        rec_ref = reference.present_one_tick(encoding.rates, learn=True)
+        assert rec_fast.winner == rec_ref.winner, f"diverged at step {step}"
+        assert np.array_equal(rec_fast.spike_counts, rec_ref.spike_counts)
+        assert rec_fast.winners(3) == rec_ref.winners(3)
+        assert rec_fast.next_best_potential == pytest.approx(
+            rec_ref.next_best_potential, rel=1e-9)
+    np.testing.assert_allclose(fast.weights, reference.weights, rtol=1e-9)
+    np.testing.assert_allclose(fast.exc.theta, reference.exc.theta,
+                               rtol=1e-9)
+
+
+def test_full_interval_present_matches_reference():
+    """present() with sparse Poisson sampling draws the identical spike
+    trains (the full uniform block keeps the RNG stream aligned)."""
+    config = PathfinderConfig()
+    encoder = PixelMatrixEncoder(config)
+    fast, reference = _twin_networks(config.n_input)
+    rng = np.random.default_rng(19)
+    for deltas in _random_histories(config, rng, 8):
+        rates = encoder.encode(list(deltas))
+        rec_fast = fast.present(rates, learn=True)
+        rec_ref = reference.present(rates, learn=True)
+        assert rec_fast.winner == rec_ref.winner
+        assert np.array_equal(rec_fast.spike_counts, rec_ref.spike_counts)
+        assert rec_fast.first_spike_tick == rec_ref.first_spike_tick
+        assert rec_fast.boosts_used == rec_ref.boosts_used
+    assert np.array_equal(fast.weights, reference.weights)
+    assert np.array_equal(fast.exc.theta, reference.exc.theta)
+
+
+def _prefetch_file(config, trace):
+    requests = generate_prefetches(PathfinderPrefetcher(config), trace,
+                                   budget=2)
+    return [(r.trigger_instr_id, r.address) for r in requests]
+
+
+@pytest.mark.parametrize("one_tick", [True, False])
+def test_full_run_prefetch_file_bit_identical(one_tick):
+    """The acceptance bar: fast_snn on/off emit the same prefetch file."""
+    trace = make_trace("cc-5", 2500, seed=1)
+    fast = _prefetch_file(
+        PathfinderConfig(one_tick=one_tick, fast_snn=True), trace)
+    reference = _prefetch_file(
+        PathfinderConfig(one_tick=one_tick, fast_snn=False), trace)
+    assert fast == reference
+    assert fast, "expected a non-empty prefetch file"

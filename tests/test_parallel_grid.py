@@ -1,0 +1,110 @@
+"""Parallel grid evaluation: worker fan-out parity and registry merge."""
+
+import pytest
+
+from repro.core import PathfinderConfig
+from repro.errors import ConfigError
+from repro.harness.runner import Evaluation, multi_seed_grid
+from repro.obs import Observability
+from repro.obs.telemetry import MetricsRegistry
+
+
+def _row_values(row):
+    return (row.workload, row.prefetcher, row.ipc, row.speedup,
+            row.accuracy, row.coverage, row.issued, row.useful,
+            row.baseline_misses)
+
+
+CELLS = [("cc-5", "nextline"),
+         ("cc-5", PathfinderConfig(one_tick=True)),
+         ("605-mcf-s1", "spp"),
+         ("605-mcf-s1", PathfinderConfig(n_neurons=20))]
+
+
+def test_run_cells_parallel_matches_serial():
+    serial = Evaluation(n_accesses=1500).run_cells(CELLS, jobs=1)
+    parallel = Evaluation(n_accesses=1500).run_cells(CELLS, jobs=3)
+    assert [_row_values(r) for r in serial] == \
+           [_row_values(r) for r in parallel]
+    # Deterministic ordering: rows come back in cell order.
+    assert [r.workload for r in parallel] == [w for w, _ in CELLS]
+
+
+def test_run_grid_parallel_matches_serial():
+    workloads, prefetchers = ["cc-5"], ["nextline", "sisb"]
+    serial = Evaluation(n_accesses=1200).run_grid(workloads, prefetchers)
+    parallel = Evaluation(n_accesses=1200).run_grid(workloads, prefetchers,
+                                                    jobs=2)
+    assert [_row_values(r) for r in serial] == \
+           [_row_values(r) for r in parallel]
+
+
+def test_parallel_run_merges_worker_registries():
+    cells = [("cc-5", "pathfinder"), ("cc-5", "spp")]
+    obs_serial = Observability()
+    Evaluation(n_accesses=1200, obs=obs_serial).run_cells(cells, jobs=1)
+    obs_parallel = Observability()
+    Evaluation(n_accesses=1200, obs=obs_parallel).run_cells(cells, jobs=2)
+    serial_counters = obs_serial.registry.snapshot()["counters"]
+    parallel_counters = obs_parallel.registry.snapshot()["counters"]
+    snn_keys = [k for k in serial_counters if k.startswith("snn.")]
+    assert snn_keys, "pathfinder run should publish SNN counters"
+    for key in snn_keys:
+        assert parallel_counters[key] == serial_counters[key]
+
+
+def test_multi_seed_grid_parallel_matches_serial():
+    kwargs = dict(workloads=["cc-5"], prefetchers=["nextline", "sisb"],
+                  seeds=(1, 2), n_accesses=1000)
+    serial = multi_seed_grid(jobs=1, **kwargs)
+    parallel = multi_seed_grid(jobs=2, **kwargs)
+    assert serial == parallel
+    assert [(a.workload, a.prefetcher) for a in serial] == \
+           [("cc-5", "nextline"), ("cc-5", "sisb")]
+
+
+def test_multi_seed_grid_requires_seeds():
+    with pytest.raises(ConfigError):
+        multi_seed_grid(["cc-5"], ["nextline"], seeds=())
+
+
+def test_registry_merge_semantics():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("hits").inc(3)
+    b.counter("hits").inc(4)
+    b.counter("only_b").inc(1)
+    a.gauge("level").set(1.0)
+    b.gauge("level").set(2.0)
+    a.histogram("lat", bounds=(1, 2)).observe(0.5)
+    b.histogram("lat", bounds=(1, 2)).observe(5.0)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["counters"]["hits"] == 7
+    assert snap["counters"]["only_b"] == 1
+    assert snap["gauges"]["level"] == 2.0
+    lat = snap["histograms"]["lat"]
+    assert lat["count"] == 2
+    assert lat["min"] == 0.5 and lat["max"] == 5.0
+
+
+def test_registry_merge_rejects_bound_mismatch():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("lat", bounds=(1, 2)).observe(0.5)
+    b.histogram("lat", bounds=(1, 4)).observe(0.5)
+    with pytest.raises(ConfigError):
+        a.merge(b)
+
+
+def test_merge_into_empty_registry_copies_values():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    b.counter("c").inc(2)
+    b.gauge("g").set(3.5)
+    b.histogram("h", bounds=(10,)).observe(4.0)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["counters"]["c"] == 2
+    assert snap["gauges"]["g"] == 3.5
+    assert snap["histograms"]["h"]["count"] == 1
+    # The merged histogram is an independent copy.
+    b.histogram("h").observe(1.0)
+    assert a.snapshot()["histograms"]["h"]["count"] == 1

@@ -1,0 +1,83 @@
+"""The perf-regression report: generation, schema validation, round-trip."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.perfbench import (
+    SCHEMA_VERSION,
+    load_bench,
+    run_bench,
+    save_bench,
+    validate_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(prefetchers=("nextline", "pathfinder"),
+                     workload="cc-5", n_accesses=600, seed=1)
+
+
+def test_report_is_valid_and_complete(report):
+    validate_bench(report)
+    assert report["schema_version"] == SCHEMA_VERSION
+    assert report["trace_gen_s"] >= 0.0
+    assert report["baseline_replay_s"] >= 0.0
+    assert set(report["prefetchers"]) == {"nextline", "pathfinder"}
+    for cell in report["prefetchers"].values():
+        assert cell["prefetch_file_s"] >= 0.0
+        assert cell["replay_s"] >= 0.0
+        assert cell["speedup"] > 0.0
+        assert cell["issued"] >= 0
+
+
+def test_report_round_trips_through_disk(report, tmp_path):
+    path = tmp_path / "bench.json"
+    save_bench(report, path)
+    loaded = load_bench(path)
+    assert loaded == report
+
+
+def test_repeats_take_the_minimum():
+    fast = run_bench(prefetchers=("nextline",), n_accesses=400, repeats=2)
+    assert fast["repeats"] == 2
+    validate_bench(fast)
+
+
+def test_unknown_prefetcher_rejected():
+    with pytest.raises(ConfigError):
+        run_bench(prefetchers=("nope",), n_accesses=400)
+
+
+def test_bad_arguments_rejected():
+    with pytest.raises(ConfigError):
+        run_bench(prefetchers=(), n_accesses=400)
+    with pytest.raises(ConfigError):
+        run_bench(prefetchers=("nextline",), n_accesses=400, repeats=0)
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda r: r.pop("trace_gen_s"),
+    lambda r: r.update(schema_version=99),
+    lambda r: r.update(prefetchers={}),
+    lambda r: r["prefetchers"]["nextline"].pop("replay_s"),
+    lambda r: r["prefetchers"]["nextline"].update(prefetch_file_s=-1.0),
+    lambda r: r["prefetchers"]["nextline"].pop("speedup"),
+])
+def test_validate_rejects_malformed_reports(report, mutate):
+    import copy
+
+    broken = copy.deepcopy(report)
+    mutate(broken)
+    with pytest.raises(ConfigError):
+        validate_bench(broken)
+
+
+def test_load_rejects_unreadable(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ConfigError):
+        load_bench(missing)
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{not json")
+    with pytest.raises(ConfigError):
+        load_bench(garbage)
