@@ -1,31 +1,69 @@
 #!/usr/bin/env python
 """Validate a ``repro bench`` JSON report (exit 0 = well-formed).
 
-Usage: python benchmarks/perf/validate.py BENCH_perf.json
+Usage:
+    python benchmarks/perf/validate.py BENCH_perf.json
+    python benchmarks/perf/validate.py NEW.json --baseline OLD.json \
+        [--max-regress 0.25]
+
+With ``--baseline`` the fast-engine replay timings in NEW.json are
+gated against OLD.json: any ``replay_s`` (or the no-prefetch
+``baseline_replay_s``) more than ``--max-regress`` (default +25%)
+slower fails with exit 1.  If the two reports describe different
+experiments (workload / n_accesses / seed / budget) the gate is
+skipped with exit 0 so a deliberate re-parameterisation doesn't trip
+CI.
 """
 
+import argparse
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
 from repro.errors import ConfigError  # noqa: E402
-from repro.harness.perfbench import load_bench  # noqa: E402
+from repro.harness.perfbench import compare_bench, load_bench  # noqa: E402
 
 
 def main(argv):
-    if len(argv) != 2:
-        print(__doc__.strip())
-        return 2
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", help="fresh bench report to validate")
+    parser.add_argument("--baseline", metavar="OLD",
+                        help="committed report to gate regressions against")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    args = parser.parse_args(argv[1:])
+
     try:
-        report = load_bench(argv[1])
+        report = load_bench(args.report)
     except ConfigError as exc:
         print(f"INVALID: {exc}")
         return 1
     names = ", ".join(report["prefetchers"])
     print(f"OK: schema v{report['schema_version']}, "
           f"{report['workload']} x {report['n_accesses']} loads, "
-          f"prefetchers: {names}")
+          f"engine: {report['replay_engine']}, prefetchers: {names}")
+
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = load_bench(args.baseline)
+    except ConfigError as exc:
+        print(f"INVALID baseline: {exc}")
+        return 1
+    try:
+        regressions = compare_bench(report, baseline,
+                                    max_regress=args.max_regress)
+    except ConfigError as exc:
+        print(f"SKIP gate: {exc}")
+        return 0
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION {line}")
+        return 1
+    print(f"GATE OK: no replay timing regressed more than "
+          f"{args.max_regress * 100:.0f}% vs {args.baseline}")
     return 0
 
 

@@ -8,6 +8,7 @@ Four subcommands, installed as the ``repro`` console script::
 
     repro run <workload> <prefetcher> [--loads N] [--seed S]
               [--budget B] [--hierarchy {scaled,full}]
+              [--engine {fast,reference}]
               [--events-out e.jsonl] [--metrics-out m.json]
         Run one prefetcher on one workload and print IPC / accuracy /
         coverage against the no-prefetch baseline, optionally streaming
@@ -109,7 +110,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     evaluation = Evaluation(n_accesses=args.loads, seed=args.seed,
                             hierarchy=_select_hierarchy(args.hierarchy),
-                            budget=args.budget, obs=obs)
+                            budget=args.budget, obs=obs,
+                            engine=args.engine)
     try:
         if obs is not None and obs.profiler.capture_memory:
             with obs.profiler.memory():
@@ -216,10 +218,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                        n_accesses=loads, seed=args.seed,
                        budget=args.budget, repeats=args.repeats)
     rows = [["trace_gen", "-", f"{report['trace_gen_s']:.3f}s"],
-            ["baseline_replay", "-", f"{report['baseline_replay_s']:.3f}s"]]
+            ["baseline_replay (fast)", "-",
+             f"{report['baseline_replay_s']:.3f}s"],
+            ["baseline_replay (reference)", "-",
+             f"{report['baseline_replay_reference_s']:.3f}s"]]
     for name, cell in report["prefetchers"].items():
         rows.append(["prefetch_file", name, f"{cell['prefetch_file_s']:.3f}s"])
-        rows.append(["replay", name, f"{cell['replay_s']:.3f}s"])
+        rows.append(["replay (fast)", name, f"{cell['replay_s']:.3f}s"])
+        rows.append(["replay (reference)", name,
+                     f"{cell['replay_reference_s']:.3f}s "
+                     f"({cell['replay_speedup']:.1f}x)"])
     print(format_table(
         ["phase", "prefetcher", "best-of-%d wall time" % report["repeats"]],
         rows,
@@ -278,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--hierarchy", choices=("scaled", "full"),
                        default="scaled",
                        help="scaled (default) or full paper Table-3 caches")
+    p_run.add_argument("--engine", choices=("fast", "reference"),
+                       default="fast",
+                       help="replay engine; results are bit-identical, "
+                            "'reference' is the readable slow loop")
     p_run.add_argument("--peak-memory", action="store_true",
                        help="capture tracemalloc peak memory for the run")
     _add_obs_flags(p_run)

@@ -8,13 +8,22 @@ all three at fixed seeds and writes a schema-versioned JSON report
 (``BENCH_perf.json`` at the repo root) so a slowdown shows up as a
 reviewable diff rather than an anecdote.
 
+Replay is timed under **both** engines (see docs/architecture.md,
+"Replay engines"): ``replay_s`` is the fast array-backed engine that
+``repro run`` uses by default, ``replay_reference_s`` is the readable
+reference loop, and ``replay_speedup`` is their ratio.  Because each
+prefetch file is replayed under both, every bench run doubles as a
+parity check — the two engines' :class:`~repro.sim.metrics.SimResult`
+values must be bit-identical or the bench aborts.
+
 Timings use the min over ``repeats`` runs (the least-noisy estimator
 for wall-clock benchmarks); everything else in the report — speedup,
 accuracy, issued counts — is deterministic at a fixed seed and doubles
 as a correctness fingerprint for the timed code path.
 
 ``repro bench`` is the CLI entry point; ``benchmarks/perf/validate.py``
-checks a report against :func:`validate_bench` in CI.
+checks a report against :func:`validate_bench` in CI and can gate on
+regressions against a committed baseline report.
 """
 
 from __future__ import annotations
@@ -23,17 +32,21 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationError
+from ..prefetchers.base import generate_prefetches
 from ..sim import simulate
 from ..traces import make_trace
-from .runner import default_hierarchy, make_prefetcher, run_prefetcher
+from .runner import default_hierarchy, make_prefetcher
 
 #: Bump when the report layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2 added dual-engine replay timings (``replay_reference_s``,
+#: ``replay_speedup``, ``baseline_replay_reference_s``,
+#: ``replay_engine``).
+SCHEMA_VERSION = 2
 
 #: The default lineup: the cheap table prefetchers bracket PATHFINDER
 #: so a regression report localises the slowdown to one pipeline.
@@ -44,10 +57,20 @@ DEFAULT_PREFETCHERS = ("nextline", "bo", "spp", "sisb", "pathfinder")
 SMALL_PREFETCHERS = ("nextline", "spp", "pathfinder")
 SMALL_N_ACCESSES = 1500
 
-_PHASE_KEYS = ("prefetch_file_s", "replay_s")
+_PHASE_KEYS = ("prefetch_file_s", "replay_s", "replay_reference_s")
 _REQUIRED_TOP = ("schema_version", "workload", "n_accesses", "seed",
-                 "budget", "repeats", "environment", "trace_gen_s",
-                 "baseline_replay_s", "prefetchers")
+                 "budget", "repeats", "environment", "replay_engine",
+                 "trace_gen_s", "baseline_replay_s",
+                 "baseline_replay_reference_s", "prefetchers")
+_REQUIRED_CELL = ("replay_speedup", "speedup", "accuracy", "coverage",
+                  "issued")
+
+
+def _timed_replay(trace, requests, hierarchy, name, engine):
+    start = time.perf_counter()
+    result = simulate(trace, requests, config=hierarchy,
+                      prefetcher_name=name, engine=engine)
+    return time.perf_counter() - start, result
 
 
 def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
@@ -60,6 +83,9 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
 
     Returns the report dict (see module docstring); it always passes
     :func:`validate_bench`.
+
+    Raises :class:`~repro.errors.SimulationError` if the fast and
+    reference engines ever disagree on a replay result.
     """
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
@@ -76,35 +102,52 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
         trace = make_trace(workload, n_accesses, seed=seed)
         trace_gen_s.append(time.perf_counter() - start)
 
-    baseline_replay_s = []
+    baseline_fast_s, baseline_ref_s = [], []
+    baseline = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        baseline = simulate(trace, config=hierarchy)
-        baseline_replay_s.append(time.perf_counter() - start)
+        fast_s, baseline = _timed_replay(trace, (), hierarchy, "none", "fast")
+        ref_s, ref_baseline = _timed_replay(trace, (), hierarchy, "none",
+                                            "reference")
+        if baseline != ref_baseline:
+            raise SimulationError(
+                "engine parity violation on the no-prefetch baseline")
+        baseline_fast_s.append(fast_s)
+        baseline_ref_s.append(ref_s)
+    assert baseline is not None
 
     per_prefetcher: Dict[str, Dict] = {}
     for name in prefetchers:
-        best: Optional[Dict[str, float]] = None
-        row = None
+        best: Dict[str, float] = {}
+        result = None
         for _ in range(repeats):
             # A fresh prefetcher per repeat: learning state must not
             # leak between runs or the later repeats time a different
             # (warmer) workload than the first.
-            row = run_prefetcher(trace, make_prefetcher(name), baseline,
-                                 hierarchy=hierarchy, budget=budget)
-            if best is None:
-                best = dict(row.timings)
-            else:
-                for key in _PHASE_KEYS:
-                    best[key] = min(best[key], row.timings[key])
-        assert best is not None and row is not None
+            start = time.perf_counter()
+            requests = generate_prefetches(make_prefetcher(name), trace,
+                                           budget=budget)
+            timings = {"prefetch_file_s": time.perf_counter() - start}
+            timings["replay_s"], result = _timed_replay(
+                trace, requests, hierarchy, name, "fast")
+            timings["replay_reference_s"], ref_result = _timed_replay(
+                trace, requests, hierarchy, name, "reference")
+            if result != ref_result:
+                raise SimulationError(
+                    f"engine parity violation replaying {name!r}")
+            for key in _PHASE_KEYS:
+                best[key] = (timings[key] if key not in best
+                             else min(best[key], timings[key]))
+        assert result is not None
         per_prefetcher[name] = {
             "prefetch_file_s": best["prefetch_file_s"],
             "replay_s": best["replay_s"],
-            "speedup": row.speedup,
-            "accuracy": row.accuracy,
-            "coverage": row.coverage,
-            "issued": row.issued,
+            "replay_reference_s": best["replay_reference_s"],
+            "replay_speedup": (best["replay_reference_s"] / best["replay_s"]
+                               if best["replay_s"] > 0 else 0.0),
+            "speedup": (result.ipc / baseline.ipc if baseline.ipc else 0.0),
+            "accuracy": result.accuracy(),
+            "coverage": result.coverage(baseline.llc_misses),
+            "issued": result.pf_issued,
         }
 
     return {
@@ -119,8 +162,12 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
             "numpy": np.__version__,
             "platform": platform.platform(),
         },
+        #: ``replay_s`` / ``baseline_replay_s`` are measured under this
+        #: engine (the simulator default).
+        "replay_engine": "fast",
         "trace_gen_s": min(trace_gen_s),
-        "baseline_replay_s": min(baseline_replay_s),
+        "baseline_replay_s": min(baseline_fast_s),
+        "baseline_replay_reference_s": min(baseline_ref_s),
         "prefetchers": per_prefetcher,
     }
 
@@ -137,7 +184,11 @@ def validate_bench(report: Dict) -> None:
         raise ConfigError(
             f"perf report schema_version {report['schema_version']!r} != "
             f"supported {SCHEMA_VERSION}")
-    for key in ("trace_gen_s", "baseline_replay_s"):
+    if report["replay_engine"] not in ("fast", "reference"):
+        raise ConfigError(
+            f"perf report replay_engine {report['replay_engine']!r} unknown")
+    for key in ("trace_gen_s", "baseline_replay_s",
+                "baseline_replay_reference_s"):
         value = report[key]
         if not isinstance(value, (int, float)) or value < 0:
             raise ConfigError(f"perf report {key} must be non-negative")
@@ -152,10 +203,46 @@ def validate_bench(report: Dict) -> None:
             if not isinstance(value, (int, float)) or value < 0:
                 raise ConfigError(
                     f"perf report entry {name!r} needs non-negative {key!r}")
-        for key in ("speedup", "accuracy", "coverage", "issued"):
+        for key in _REQUIRED_CELL:
             if key not in cell:
                 raise ConfigError(
                     f"perf report entry {name!r} missing {key!r}")
+
+
+def compare_bench(report: Dict, baseline: Dict,
+                  max_regress: float = 0.25) -> Sequence[str]:
+    """Compare a fresh report's fast-engine replay times to a baseline.
+
+    Returns a list of human-readable regression messages (empty =
+    pass).  A timing regresses when it exceeds the baseline's by more
+    than ``max_regress`` (fractional, e.g. ``0.25`` = +25%).  Reports
+    must describe the same experiment — workload, n_accesses, seed and
+    budget — otherwise a :class:`ConfigError` is raised so CI can skip
+    rather than compare apples to oranges.
+    """
+    validate_bench(report)
+    validate_bench(baseline)
+    for key in ("workload", "n_accesses", "seed", "budget"):
+        if report[key] != baseline[key]:
+            raise ConfigError(
+                f"perf reports are not comparable: {key} differs "
+                f"({report[key]!r} vs baseline {baseline[key]!r})")
+    regressions = []
+
+    def check(label, new, old):
+        if old > 0 and new > old * (1.0 + max_regress):
+            regressions.append(
+                f"{label}: {new:.4f}s vs baseline {old:.4f}s "
+                f"(+{(new / old - 1.0) * 100:.0f}%, limit "
+                f"+{max_regress * 100:.0f}%)")
+
+    check("baseline_replay_s", report["baseline_replay_s"],
+          baseline["baseline_replay_s"])
+    for name, cell in report["prefetchers"].items():
+        old_cell = baseline["prefetchers"].get(name)
+        if old_cell is not None:
+            check(f"{name}.replay_s", cell["replay_s"], old_cell["replay_s"])
+    return regressions
 
 
 def save_bench(report: Dict, path) -> None:

@@ -134,13 +134,16 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
                    baseline: SimResult,
                    hierarchy: Optional[HierarchyConfig] = None,
                    budget: int = 2,
-                   obs: Optional[Observability] = None) -> EvalRow:
+                   obs: Optional[Observability] = None,
+                   engine: str = "fast") -> EvalRow:
     """Generate this prefetcher's prefetch file and replay it.
 
     With an enabled ``obs`` bundle, the two phases are profiled
     (``prefetch_file`` / ``replay``), the prefetcher's internal
     telemetry is published, and the simulator emits lifecycle events;
     the per-phase wall times land in :attr:`EvalRow.timings` either way.
+    ``engine`` selects the replay engine (results are bit-identical;
+    see :class:`~repro.sim.simulator.Simulator`).
     """
     obs = obs if obs is not None else Observability.disabled()
     hierarchy = hierarchy or default_hierarchy()
@@ -154,7 +157,8 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
     start = time.perf_counter()
     with obs.profiler.phase("replay"):
         result = simulate(trace, requests, config=hierarchy,
-                          prefetcher_name=prefetcher.name, obs=obs)
+                          prefetcher_name=prefetcher.name, obs=obs,
+                          engine=engine)
     timings["replay_s"] = time.perf_counter() - start
     return EvalRow(
         workload=trace.name,
@@ -181,10 +185,11 @@ def _run_cell_task(task: Tuple) -> Tuple[EvalRow, Optional[object]]:
     tracer sinks stay parent-side (file handles don't cross process
     boundaries).
     """
-    trace, baseline, spec, hierarchy, budget, observe = task
+    trace, baseline, spec, hierarchy, budget, observe, engine = task
     obs = Observability() if observe else None
     row = run_prefetcher(trace, _spec_prefetcher(spec), baseline,
-                         hierarchy=hierarchy, budget=budget, obs=obs)
+                         hierarchy=hierarchy, budget=budget, obs=obs,
+                         engine=engine)
     return row, (obs.registry if obs is not None else None)
 
 
@@ -210,6 +215,9 @@ class Evaluation:
     #: Optional observability bundle threaded through trace generation,
     #: baseline replay, and every prefetcher run.
     obs: Optional[Observability] = None
+    #: Replay engine for every simulation in the grid ("fast" or
+    #: "reference"); results are bit-identical, only wall-clock differs.
+    engine: str = "fast"
     _traces: Dict[str, Trace] = field(default_factory=dict)
     _baselines: Dict[str, SimResult] = field(default_factory=dict)
 
@@ -233,7 +241,7 @@ class Evaluation:
             with obs.profiler.phase("baseline_replay"):
                 self._baselines[workload] = simulate(
                     self.trace(workload), config=self.hierarchy,
-                    prefetcher_name="none", obs=obs)
+                    prefetcher_name="none", obs=obs, engine=self.engine)
         return self._baselines[workload]
 
     def run(self, workload: str, prefetcher_name: str) -> EvalRow:
@@ -242,7 +250,7 @@ class Evaluation:
         return run_prefetcher(self.trace(workload), prefetcher,
                               self.baseline(workload),
                               hierarchy=self.hierarchy, budget=self.budget,
-                              obs=self._obs())
+                              obs=self._obs(), engine=self.engine)
 
     def run_config(self, workload: str, config: PathfinderConfig) -> EvalRow:
         """Evaluate an explicit PATHFINDER config on one workload."""
@@ -250,7 +258,7 @@ class Evaluation:
                               PathfinderPrefetcher(config),
                               self.baseline(workload),
                               hierarchy=self.hierarchy, budget=self.budget,
-                              obs=self._obs())
+                              obs=self._obs(), engine=self.engine)
 
     def run_cells(self, cells: Sequence[Tuple[str, CellSpec]],
                   jobs: int = 1) -> List[EvalRow]:
@@ -273,7 +281,7 @@ class Evaluation:
         # caches) so every worker replays the identical access stream.
         observe = self.obs is not None and self.obs.enabled
         tasks = [(self.trace(w), self.baseline(w), spec, self.hierarchy,
-                  self.budget, observe) for w, spec in cells]
+                  self.budget, observe, self.engine) for w, spec in cells]
         rows: List[EvalRow] = []
         with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
             for row, registry in pool.map(_run_cell_task, tasks):

@@ -16,9 +16,10 @@ prefetching studies; see ``DESIGN.md`` for the substitution note.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Tuple
+from typing import Deque, List, Tuple
 
 from ..errors import ConfigError
 
@@ -59,8 +60,12 @@ class TimingCore:
         self._commit_cycle = 0.0
         # (instr_id, completion_cycle) of loads still inside the ROB window.
         self._window: Deque[Tuple[int, float]] = deque()
-        # Completion cycles of outstanding DRAM misses (MSHR occupancy).
-        self._mshr: Deque[float] = deque()
+        # Completion cycles of outstanding DRAM misses (MSHR occupancy),
+        # kept as a min-heap: admission only ever consumes the earliest
+        # completion, so a heap replaces the old sorted-deque rebuild
+        # without changing any returned cycle.  DRAM completions are
+        # integer cycles end to end.
+        self._mshr: List[int] = []
 
     @property
     def cycle(self) -> float:
@@ -88,20 +93,18 @@ class TimingCore:
         Returns the (possibly delayed) cycle at which the miss may
         actually issue, once an MSHR is free.
         """
-        while self._mshr and self._mshr[0] <= cycle:
-            self._mshr.popleft()
-        if len(self._mshr) >= self.config.mshrs:
-            cycle = max(cycle, self._mshr.popleft())
-            while self._mshr and self._mshr[0] <= cycle:
-                self._mshr.popleft()
+        mshr = self._mshr
+        while mshr and mshr[0] <= cycle:
+            heapq.heappop(mshr)
+        if len(mshr) >= self.config.mshrs:
+            cycle = max(cycle, heapq.heappop(mshr))
+            while mshr and mshr[0] <= cycle:
+                heapq.heappop(mshr)
         return cycle
 
-    def mshr_fill(self, completion_cycle: float) -> None:
+    def mshr_fill(self, completion_cycle: int) -> None:
         """Record the completion cycle of an issued DRAM miss."""
-        self._mshr.append(completion_cycle)
-        if len(self._mshr) > 1 and self._mshr[-1] < self._mshr[-2]:
-            # Keep the deque sorted so mshr_admit pops in completion order.
-            self._mshr = deque(sorted(self._mshr))
+        heapq.heappush(self._mshr, completion_cycle)
 
     def complete_load(self, instr_id: int, completion_cycle: float) -> None:
         """Record a load's data-ready cycle; updates in-order commit."""

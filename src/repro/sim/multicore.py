@@ -99,8 +99,10 @@ class MulticoreSimulator:
         self.llc = SetAssociativeCache(self.config.llc)
         self.dram = DramModel(self.config.dram)
         self.address_isolation = address_isolation
-        self._pf_heap: List[Tuple[float, int]] = []
-        self._pf_inflight: Dict[int, float] = {}
+        # Completion cycles are integers end to end (DRAM arithmetic
+        # is all-int), as in the single-core simulator.
+        self._pf_heap: List[Tuple[int, int]] = []
+        self._pf_inflight: Dict[int, int] = {}
         self._ran = False
 
     # -- shared-LLC helpers --------------------------------------------------
@@ -122,7 +124,7 @@ class MulticoreSimulator:
             return
         completion = self.dram.access(block, int(cycle))
         self._pf_inflight[block] = completion
-        heapq.heappush(self._pf_heap, (float(completion), block))
+        heapq.heappush(self._pf_heap, (completion, block))
         core.result.pf_issued += 1
 
     def _demand(self, core: _Core, block: int, dispatch: float) -> float:

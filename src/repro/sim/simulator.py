@@ -13,13 +13,17 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..obs import Counter, Observability
 from ..types import PrefetchRequest, Trace
-from .cache import CacheConfig, SetAssociativeCache
+from .cache import ArrayCache, CacheConfig, SetAssociativeCache
 from .cpu import CoreConfig, TimingCore
-from .dram import DramConfig, DramModel
+from .dram import DramConfig, DramModel, FlatDram
+from .fast_engine import replay_fast
 from .metrics import SimResult
+
+#: Replay engines accepted by :class:`Simulator` and :func:`simulate`.
+ENGINES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -79,26 +83,63 @@ class Simulator:
     histogram into the metrics registry, and brackets the replay in
     ``run.begin``/``run.end`` events.  With the default disabled
     bundle the replay loop pays only a handful of boolean checks.
+
+    Two replay engines produce bit-identical results (enforced by
+    ``tests/test_replay_parity.py``):
+
+    - ``"fast"`` (default) — the flat-array loop in
+      :mod:`repro.sim.fast_engine` over :class:`~repro.sim.cache.ArrayCache`
+      levels and :class:`~repro.sim.dram.FlatDram`;
+    - ``"reference"`` — the straightforward per-object loop below, kept
+      as the readable specification and parity oracle.
+
+    The fast engine covers LRU replacement and metrics-level
+    observability; requesting per-event tracing or an ``srrip`` level
+    silently falls back to the reference engine (``engine_used`` tells
+    which one ran), so callers can always ask for ``"fast"``.
     """
 
     def __init__(self, config: Optional[HierarchyConfig] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 engine: str = "fast"):
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"unknown replay engine {engine!r}; expected one of {ENGINES}")
         self.config = config or HierarchyConfig()
         self.obs = obs if obs is not None else Observability.disabled()
         self._trace_events = self.obs.tracer.enabled
-        self.l1d = SetAssociativeCache(self.config.l1d)
-        self.l2 = SetAssociativeCache(self.config.l2)
-        self.llc = SetAssociativeCache(self.config.llc)
-        self.dram = DramModel(self.config.dram)
+        # Resolve the engine: the fast loop has no event-tracing hooks
+        # and only implements LRU, so those configurations run on the
+        # reference engine regardless of what was requested.
+        if engine == "fast" and (
+                self._trace_events
+                or self.config.l1d.replacement != "lru"
+                or self.config.l2.replacement != "lru"
+                or self.config.llc.replacement != "lru"):
+            engine = "reference"
+        self.engine_requested = engine
+        #: The engine that will actually run (after fallback).
+        self.engine_used = engine
+        if engine == "fast":
+            self.l1d = ArrayCache(self.config.l1d)
+            self.l2 = ArrayCache(self.config.l2)
+            self.llc = ArrayCache(self.config.llc)
+            self.dram = FlatDram(self.config.dram)
+        else:
+            self.l1d = SetAssociativeCache(self.config.l1d)
+            self.l2 = SetAssociativeCache(self.config.l2)
+            self.llc = SetAssociativeCache(self.config.llc)
+            self.dram = DramModel(self.config.dram)
         self.core = TimingCore(self.config.core)
         # Typed drop counter (always live — drops are rare, so this
         # costs nothing on the hot path); mirrored into the registry
         # and ``result.extra`` at the end of the run.
         self._pf_dropped = Counter()
         # In-flight prefetches as a min-heap of (completion_cycle, block)
-        # plus a membership map for O(1) match.
-        self._pf_heap: List[Tuple[float, int]] = []
-        self._pf_inflight: Dict[int, float] = {}
+        # plus a membership map for O(1) match.  Completion cycles are
+        # integers end to end (DRAM arithmetic is all-int).
+        self._pf_heap: List[Tuple[int, int]] = []
+        self._pf_inflight: Dict[int, int] = {}
         self._ran = False
 
     # -- prefetch handling -------------------------------------------------
@@ -132,7 +173,7 @@ class Simulator:
             return
         completion = self.dram.access(block, int(cycle))
         self._pf_inflight[block] = completion
-        heapq.heappush(self._pf_heap, (float(completion), block))
+        heapq.heappush(self._pf_heap, (completion, block))
         result.pf_issued += 1
         if self._trace_events:
             self.obs.tracer.emit("pf.issued", block=block, cycle=cycle,
@@ -232,18 +273,21 @@ class Simulator:
                                  prefetcher=prefetcher_name,
                                  loads=len(trace))
 
-        for acc in trace:
-            dispatch = self.core.dispatch_load(acc.instr_id)
-            self._drain_completed_prefetches(dispatch)
-            latency = self._demand_access(acc.block, dispatch, result)
-            self.core.complete_load(acc.instr_id, dispatch + latency)
-            for block in by_trigger.get(acc.instr_id, ()):
-                self._issue_prefetch(block, dispatch, result,
-                                     trigger=acc.instr_id)
+        if self.engine_used == "fast":
+            replay_fast(self, trace, by_trigger, result)
+        else:
+            for acc in trace:
+                dispatch = self.core.dispatch_load(acc.instr_id)
+                self._drain_completed_prefetches(dispatch)
+                latency = self._demand_access(acc.block, dispatch, result)
+                self.core.complete_load(acc.instr_id, dispatch + latency)
+                for block in by_trigger.get(acc.instr_id, ()):
+                    self._issue_prefetch(block, dispatch, result,
+                                         trigger=acc.instr_id)
+            result.cycles = self.core.finalize(trace.instruction_count)
 
         # Account prefetched lines that were demanded after install.
         result.pf_useful += self.llc.useful_prefetches
-        result.cycles = self.core.finalize(trace.instruction_count)
         result.dram_requests = self.dram.requests
         result.extra["dram_avg_wait"] = self.dram.average_wait
         result.extra["pf_unused_evicted"] = float(
@@ -287,6 +331,8 @@ class Simulator:
 def simulate(trace: Trace, prefetches: Iterable[PrefetchRequest] = (),
              config: Optional[HierarchyConfig] = None,
              prefetcher_name: str = "none",
-             obs: Optional[Observability] = None) -> SimResult:
+             obs: Optional[Observability] = None,
+             engine: str = "fast") -> SimResult:
     """Convenience wrapper: build a fresh :class:`Simulator` and run it."""
-    return Simulator(config, obs=obs).run(trace, prefetches, prefetcher_name)
+    return Simulator(config, obs=obs, engine=engine).run(
+        trace, prefetches, prefetcher_name)

@@ -1,6 +1,6 @@
 """Synthetic access-stream primitives used to build workload generators.
 
-Each *stream* is an infinite iterator of ``(pc, address)`` pairs with a
+Each *stream* is an infinite sequence of ``(pc, address)`` pairs with a
 characteristic pattern class:
 
 - :class:`SequentialStream` — next-line friendly linear scans.
@@ -15,7 +15,19 @@ characteristic pattern class:
   region; hard for everyone (the paper's mcf-like behaviour).
 
 :class:`StreamMixer` interleaves weighted streams and stamps instruction
-ids with a workload-specific mean gap, producing a :class:`~repro.types.Trace`.
+ids with a workload-specific mean gap, producing a
+:class:`~repro.types.Trace`.
+
+Generation is *batched*: every stream's core is a ``_batches()``
+generator that emits ``(pc_column, address_column)`` numpy chunks, with
+all randomness drawn as whole arrays per chunk instead of one scalar
+``Generator`` call per access (scalar draws cost ~1µs each and used to
+dominate generation time).  ``sample(n)`` concatenates chunks into flat
+``int64`` columns for the mixer; ``__iter__`` adapts the same chunks to
+the per-access protocol tests and ad-hoc callers use.  Batching changes
+how the RNG stream is consumed, so traces differ in content (but not in
+statistical shape) from the pre-batched scalar implementation at the
+same seed.
 """
 
 from __future__ import annotations
@@ -25,16 +37,52 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError
-from ..types import BLOCKS_PER_PAGE, MemoryAccess, Trace, compose_address
+from ..types import (
+    BLOCK_BITS,
+    BLOCKS_PER_PAGE,
+    PAGE_BITS,
+    MemoryAccess,
+    Trace,
+    TraceArrays,
+)
 
 PcAddr = Tuple[int, int]
 
+#: Preferred chunk size for batched generation.
+_CHUNK = 2048
+
 
 class AccessStream:
-    """Base class for infinite (pc, address) generators."""
+    """Base class for infinite (pc, address) generators.
+
+    Subclasses implement :meth:`_batches`, an infinite generator of
+    ``(pc_column, address_column)`` numpy ``int64`` chunk pairs (each
+    chunk non-empty).  Iteration and column sampling are derived.
+    """
+
+    def _batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        raise NotImplementedError
 
     def __iter__(self) -> Iterator[PcAddr]:
-        raise NotImplementedError
+        for pcs, addrs in self._batches():
+            yield from zip(pcs.tolist(), addrs.tolist())
+
+    def sample(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The stream's first ``n`` accesses as flat int64 columns."""
+        if n <= 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        pcs: List[np.ndarray] = []
+        addrs: List[np.ndarray] = []
+        got = 0
+        for pc_col, addr_col in self._batches():
+            pcs.append(pc_col)
+            addrs.append(addr_col)
+            got += len(addr_col)
+            if got >= n:
+                break
+        return (np.concatenate(pcs)[:n].astype(np.int64, copy=False),
+                np.concatenate(addrs)[:n].astype(np.int64, copy=False))
 
 
 class SequentialStream(AccessStream):
@@ -56,14 +104,21 @@ class SequentialStream(AccessStream):
         self.stride = stride
         self.region_pages = region_pages
 
-    def __iter__(self) -> Iterator[PcAddr]:
-        block = self.start_page * BLOCKS_PER_PAGE
-        limit = (self.start_page + self.region_pages) * BLOCKS_PER_PAGE
+    def _batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        start_block = self.start_page * BLOCKS_PER_PAGE
+        span = self.region_pages * BLOCKS_PER_PAGE
+        # Steps before the scan wraps back to the region start.
+        if self.stride > 0:
+            period = max(1, -(-span // self.stride))
+        else:
+            period = 1
+        pc_col = np.full(_CHUNK, self.pc, dtype=np.int64)
+        steps = np.arange(_CHUNK, dtype=np.int64)
+        k = 0
         while True:
-            yield self.pc, block << 6
-            block += self.stride
-            if block >= limit or block < self.start_page * BLOCKS_PER_PAGE:
-                block = self.start_page * BLOCKS_PER_PAGE
+            blocks = start_block + ((k + steps) % period) * self.stride
+            yield pc_col, blocks << BLOCK_BITS
+            k = (k + _CHUNK) % period
 
 
 class DeltaPatternStream(AccessStream):
@@ -101,25 +156,47 @@ class DeltaPatternStream(AccessStream):
         self.accesses_per_page = accesses_per_page
         self.seed = seed
 
-    def __iter__(self) -> Iterator[PcAddr]:
+    def _page_offsets(self, rng: np.random.Generator,
+                      length_hint: int) -> np.ndarray:
+        """One page's offset sequence (noise drawn as whole arrays)."""
+        pattern = np.asarray(self.pattern, dtype=np.int64)
+        steps = length_hint
+        while True:
+            deltas = np.tile(pattern, -(-steps // len(pattern)))[:steps]
+            if self.noise:
+                perturbed = deltas + rng.integers(-1, 2, size=steps)
+                perturbed[perturbed == 0] = 1
+                deltas = np.where(rng.random(steps) < self.noise,
+                                  perturbed, deltas)
+            offsets = self.start_offset + np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(deltas)))
+            outside = (offsets < 0) | (offsets >= BLOCKS_PER_PAGE)
+            if outside.any():
+                offsets = offsets[:int(np.argmax(outside))]
+            elif self.accesses_per_page is None:
+                # Pattern still inside the page after `steps` deltas;
+                # widen the window (only possible with mixed-sign
+                # patterns that wander without escaping).
+                if steps > 1 << 15:
+                    raise ConfigError(
+                        "delta pattern never leaves its page")
+                steps *= 2
+                continue
+            if self.accesses_per_page:
+                offsets = offsets[:self.accesses_per_page]
+            return offsets
+
+    def _batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         rng = np.random.default_rng(self.seed)
+        if not (0 <= self.start_offset < BLOCKS_PER_PAGE):
+            raise ConfigError("start_offset outside the page")
+        length_hint = (self.accesses_per_page
+                       or BLOCKS_PER_PAGE + len(self.pattern))
         page = self.first_page
         while True:
-            offset = self.start_offset
-            count = 0
-            pattern_pos = 0
-            while 0 <= offset < BLOCKS_PER_PAGE:
-                yield self.pc, compose_address(page, offset)
-                count += 1
-                if self.accesses_per_page and count >= self.accesses_per_page:
-                    break
-                delta = self.pattern[pattern_pos % len(self.pattern)]
-                pattern_pos += 1
-                if self.noise and rng.random() < self.noise:
-                    delta += int(rng.integers(-1, 2))
-                    if delta == 0:
-                        delta = 1
-                offset += delta
+            offsets = self._page_offsets(rng, length_hint)
+            addrs = (page << PAGE_BITS) | (offsets << BLOCK_BITS)
+            yield np.full(len(addrs), self.pc, dtype=np.int64), addrs
             page += 1
 
 
@@ -157,10 +234,19 @@ class InterleavedPatternStream(AccessStream):
         self.noise = noise
         self.seed = seed
 
-    def __iter__(self) -> Iterator[PcAddr]:
+    def _batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         rng = np.random.default_rng(self.seed)
+        noise = self.noise
         page = self.first_page
+        # Worst case both walkers take unit steps across the page, so
+        # one page consumes at most ~2*BLOCKS_PER_PAGE interleaving
+        # draws; one batched draw per page replaces them all.
+        draws = 2 * BLOCKS_PER_PAGE + 4
         while True:
+            which_arr = rng.integers(0, 2, size=draws).tolist()
+            perturb = (rng.integers(-1, 2, size=draws).tolist()
+                       if noise else None)
+            u = rng.random(draws).tolist() if noise else None
             # Both walkers start at opposite ends of the same page so
             # they genuinely interleave without colliding immediately.
             walkers = [
@@ -168,23 +254,31 @@ class InterleavedPatternStream(AccessStream):
                 [self.pc_b, 1, 0, self.pattern_b],
             ]
             alive = [True, True]
-            while any(alive):
-                which = int(rng.integers(0, 2))
+            base = page << PAGE_BITS
+            pcs: List[int] = []
+            addrs: List[int] = []
+            step = 0
+            while alive[0] or alive[1]:
+                which = which_arr[step]
                 if not alive[which]:
                     which = 1 - which
                 pc, offset, pos, pattern = walkers[which]
-                yield pc, compose_address(page, offset)
+                pcs.append(pc)
+                addrs.append(base | (offset << BLOCK_BITS))
                 delta = pattern[pos % len(pattern)]
                 walkers[which][2] = pos + 1
-                if self.noise and rng.random() < self.noise:
-                    delta += int(rng.integers(-1, 2))
+                if noise and u[step] < noise:
+                    delta += perturb[step]
                     if delta == 0:
                         delta = 1
+                step += 1
                 offset += delta
                 if 0 <= offset < BLOCKS_PER_PAGE:
                     walkers[which][1] = offset
                 else:
                     alive[which] = False
+            yield (np.asarray(pcs, dtype=np.int64),
+                   np.asarray(addrs, dtype=np.int64))
             page += 1
 
 
@@ -223,22 +317,31 @@ class TemporalReplayStream(AccessStream):
             raise ConfigError("offset_grid must be in [1, blocks/page]")
         self.pc = pc
         rng = np.random.default_rng(seed)
-        self.sequence: List[int] = []
-        while len(self.sequence) < length:
-            page = region_page + int(rng.integers(0, region_pages))
-            offset = int(rng.integers(0, BLOCKS_PER_PAGE))
-            offset -= offset % offset_grid
-            for step in range(run_length):
-                if offset + step >= BLOCKS_PER_PAGE:
-                    break
-                self.sequence.append(compose_address(page, offset + step))
-                if len(self.sequence) >= length:
-                    break
+        parts: List[np.ndarray] = []
+        recorded = 0
+        steps = np.arange(run_length, dtype=np.int64)
+        while recorded < length:
+            draws = max(8, -(-(length - recorded) // run_length))
+            pages = region_page + rng.integers(0, region_pages, size=draws)
+            offsets = rng.integers(0, BLOCKS_PER_PAGE, size=draws)
+            offsets -= offsets % offset_grid
+            # Expand each draw into its run, dropping the steps that
+            # would cross the page boundary (row order = draw order).
+            run_offsets = offsets[:, None] + steps[None, :]
+            addresses = ((pages[:, None] << PAGE_BITS)
+                         | (run_offsets << BLOCK_BITS))
+            chunk = addresses[run_offsets < BLOCKS_PER_PAGE]
+            parts.append(chunk)
+            recorded += len(chunk)
+        recording = np.concatenate(parts)[:length].astype(np.int64,
+                                                          copy=False)
+        self._recording = recording
+        self.sequence: List[int] = recording.tolist()
+        self._pc_col = np.full(length, pc, dtype=np.int64)
 
-    def __iter__(self) -> Iterator[PcAddr]:
+    def _batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         while True:
-            for addr in self.sequence:
-                yield self.pc, addr
+            yield self._pc_col, self._recording
 
 
 class PointerChaseStream(AccessStream):
@@ -273,18 +376,37 @@ class PointerChaseStream(AccessStream):
         self.local_jump_max = local_jump_max
         self.seed = seed
 
-    def __iter__(self) -> Iterator[PcAddr]:
+    def _batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         rng = np.random.default_rng(self.seed)
-        page = self.region_page
-        offset = 0
+        pc_col = np.full(_CHUNK, self.pc, dtype=np.int64)
+        indices = np.arange(_CHUNK)
+        carry_page = self.region_page
+        carry_offset = 0
         while True:
-            if rng.random() < self.locality:
-                offset = int((offset + rng.integers(1, self.local_jump_max))
-                             % BLOCKS_PER_PAGE)
-            else:
-                page = self.region_page + int(rng.integers(0, self.region_pages))
-                offset = int(rng.integers(0, BLOCKS_PER_PAGE))
-            yield self.pc, compose_address(page, offset)
+            local = rng.random(_CHUNK) < self.locality
+            jumps = rng.integers(1, self.local_jump_max, size=_CHUNK)
+            fresh_pages = self.region_page + rng.integers(
+                0, self.region_pages, size=_CHUNK)
+            fresh_offsets = rng.integers(0, BLOCKS_PER_PAGE, size=_CHUNK)
+            # Each access either jumps to a fresh (page, offset) or adds
+            # a jump to the previous offset within the current page.  A
+            # local run's offsets are its anchor's offset plus the
+            # cumulative jumps since the anchor (mod page size); the
+            # anchor is the most recent non-local access, or the carry
+            # state from the previous chunk.
+            anchor = np.maximum.accumulate(np.where(~local, indices, -1))
+            anchored = anchor >= 0
+            safe_anchor = np.maximum(anchor, 0)
+            local_jumps = np.where(local, jumps, 0)
+            jump_sum = np.cumsum(local_jumps)
+            base_offset = np.where(anchored, fresh_offsets[safe_anchor],
+                                   carry_offset)
+            base_sum = np.where(anchored, jump_sum[safe_anchor], 0)
+            offsets = (base_offset + jump_sum - base_sum) % BLOCKS_PER_PAGE
+            pages = np.where(anchored, fresh_pages[safe_anchor], carry_page)
+            carry_page = int(pages[-1])
+            carry_offset = int(offsets[-1])
+            yield pc_col, (pages << PAGE_BITS) | (offsets << BLOCK_BITS)
 
 
 class StreamMixer:
@@ -311,21 +433,51 @@ class StreamMixer:
         self.mean_instr_gap = mean_instr_gap
         self.seed = seed
 
-    def generate(self, n_accesses: int, name: str = "synthetic") -> Trace:
-        """Produce a trace of ``n_accesses`` interleaved loads."""
+    def columns(self, n_accesses: int, instr_base: int = 0
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generate ``(instr_ids, pcs, addresses)`` int64 columns.
+
+        Instruction ids start strictly above ``instr_base`` so phase
+        segments can be chained without re-stamping.
+        """
         rng = np.random.default_rng(self.seed)
-        iters = [iter(s) for s, _ in self.streams]
+        n_streams = len(self.streams)
         weights = np.array([w for _, w in self.streams], dtype=float)
         weights = weights / weights.sum()
-        choices = rng.choice(len(iters), size=n_accesses, p=weights)
+        choices = rng.choice(n_streams, size=n_accesses, p=weights)
         # Geometric gaps with the requested mean (>= 1 instruction apart).
         p = min(1.0, 1.0 / self.mean_instr_gap)
         gaps = rng.geometric(p, size=n_accesses)
-        accesses: List[MemoryAccess] = []
-        instr_id = 0
-        for idx, gap in zip(choices, gaps):
-            instr_id += int(gap)
-            pc, addr = next(iters[idx])
-            accesses.append(MemoryAccess(instr_id=instr_id, pc=pc, address=addr))
-        return Trace(name=name, accesses=accesses,
-                     total_instructions=instr_id + 1)
+        instr_ids = instr_base + np.cumsum(gaps, dtype=np.int64)
+        pcs = np.empty(n_accesses, dtype=np.int64)
+        addresses = np.empty(n_accesses, dtype=np.int64)
+        counts = np.bincount(choices, minlength=n_streams)
+        for i, (stream, _) in enumerate(self.streams):
+            count = int(counts[i])
+            if not count:
+                continue
+            mask = choices == i
+            pc_col, addr_col = stream.sample(count)
+            pcs[mask] = pc_col
+            addresses[mask] = addr_col
+        return instr_ids, pcs, addresses
+
+    def generate(self, n_accesses: int, name: str = "synthetic") -> Trace:
+        """Produce a trace of ``n_accesses`` interleaved loads."""
+        instr_ids, pcs, addresses = self.columns(n_accesses)
+        return trace_from_columns(name, instr_ids, pcs, addresses)
+
+
+def trace_from_columns(name: str, instr_ids: np.ndarray, pcs: np.ndarray,
+                       addresses: np.ndarray) -> Trace:
+    """Build a :class:`Trace` from flat columns, pre-seeding its
+    struct-of-arrays view so replay never re-extracts it."""
+    accesses = [
+        MemoryAccess(instr_id=i, pc=p, address=a)
+        for i, p, a in zip(instr_ids.tolist(), pcs.tolist(),
+                           addresses.tolist())
+    ]
+    total = int(instr_ids[-1]) + 1 if len(instr_ids) else 0
+    trace = Trace(name=name, accesses=accesses, total_instructions=total)
+    trace._arrays = TraceArrays.from_columns(instr_ids, pcs, addresses)
+    return trace

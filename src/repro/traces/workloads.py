@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..types import Trace
 from .synthetic import (
@@ -35,6 +37,7 @@ from .synthetic import (
     SequentialStream,
     StreamMixer,
     TemporalReplayStream,
+    trace_from_columns,
 )
 
 
@@ -351,7 +354,7 @@ def make_trace(name: str, n_accesses: int = 20_000, seed: int = 0,
     # Assign each component a disjoint page region and a distinct PC so
     # streams never alias in tables keyed by pc/page.
     region_stride = 1 << 17  # 128K pages = 512 MB per component region
-    accesses = []
+    segments: List[Tuple] = []
     instr_base = 0
     per_phase = n_accesses // phases
     for phase in range(phases):
@@ -376,11 +379,17 @@ def make_trace(name: str, n_accesses: int = 20_000, seed: int = 0,
                             seed=seed + phase * 7919)
         length = per_phase if phase < phases - 1 else (
             n_accesses - per_phase * (phases - 1))
-        segment = mixer.generate(length, name=name)
-        for acc in segment:
-            accesses.append(type(acc)(instr_id=acc.instr_id + instr_base,
-                                      pc=acc.pc, address=acc.address))
-        instr_base = accesses[-1].instr_id if accesses else 0
-    return Trace(name=name, accesses=accesses,
-                 total_instructions=(accesses[-1].instr_id + 1
-                                     if accesses else 0))
+        # Phase segments come out already stamped above instr_base, so
+        # chaining them is a plain column concatenation.
+        instr_ids, pcs, addresses = mixer.columns(length,
+                                                  instr_base=instr_base)
+        segments.append((instr_ids, pcs, addresses))
+        if len(instr_ids):
+            instr_base = int(instr_ids[-1])
+    if len(segments) == 1:
+        instr_ids, pcs, addresses = segments[0]
+    else:
+        instr_ids = np.concatenate([s[0] for s in segments])
+        pcs = np.concatenate([s[1] for s in segments])
+        addresses = np.concatenate([s[2] for s in segments])
+    return trace_from_columns(name, instr_ids, pcs, addresses)

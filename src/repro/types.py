@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 #: Cache block (line) size in bytes, as in the paper's ChampSim config.
 BLOCK_SIZE = 64
 #: Number of low address bits covered by a block.
@@ -107,6 +109,65 @@ class PrefetchRequest:
         return block_of(self.address)
 
 
+class TraceArrays:
+    """Struct-of-arrays view of a trace (``int64`` numpy columns).
+
+    The replay fast path iterates instruction ids and block numbers
+    tens of thousands of times per grid cell; pulling them out of
+    ``MemoryAccess`` objects costs an attribute lookup plus a property
+    call per field per access.  This view materialises the columns
+    once — after that, iteration, slicing, and pickling to pool
+    workers touch only flat arrays.
+
+    Attributes:
+        instr_ids / pcs / addresses / blocks: One ``int64`` array per
+            column, all the same length, in program order.
+    """
+
+    __slots__ = ("instr_ids", "pcs", "addresses", "blocks",
+                 "_instr_id_list", "_block_list")
+
+    def __init__(self, accesses: Sequence[MemoryAccess]):
+        n = len(accesses)
+        self.instr_ids = np.fromiter(
+            (a.instr_id for a in accesses), dtype=np.int64, count=n)
+        self.pcs = np.fromiter(
+            (a.pc for a in accesses), dtype=np.int64, count=n)
+        self.addresses = np.fromiter(
+            (a.address for a in accesses), dtype=np.int64, count=n)
+        self.blocks = self.addresses >> BLOCK_BITS
+        self._instr_id_list: Optional[List[int]] = None
+        self._block_list: Optional[List[int]] = None
+
+    @classmethod
+    def from_columns(cls, instr_ids: np.ndarray, pcs: np.ndarray,
+                     addresses: np.ndarray) -> "TraceArrays":
+        """Build a view from ready-made columns without re-extraction."""
+        view = cls.__new__(cls)
+        view.instr_ids = np.ascontiguousarray(instr_ids, dtype=np.int64)
+        view.pcs = np.ascontiguousarray(pcs, dtype=np.int64)
+        view.addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        view.blocks = view.addresses >> BLOCK_BITS
+        view._instr_id_list = None
+        view._block_list = None
+        return view
+
+    def __len__(self) -> int:
+        return len(self.instr_ids)
+
+    def instr_id_list(self) -> List[int]:
+        """Instruction ids as a cached plain-int list (loop-friendly)."""
+        if self._instr_id_list is None:
+            self._instr_id_list = self.instr_ids.tolist()
+        return self._instr_id_list
+
+    def block_list(self) -> List[int]:
+        """Block numbers as a cached plain-int list (loop-friendly)."""
+        if self._block_list is None:
+            self._block_list = self.blocks.tolist()
+        return self._block_list
+
+
 @dataclass
 class Trace:
     """An ordered sequence of demand loads.
@@ -122,6 +183,11 @@ class Trace:
     name: str
     accesses: List[MemoryAccess] = field(default_factory=list)
     total_instructions: Optional[int] = None
+    # Lazily built struct-of-arrays view; excluded from equality so two
+    # traces compare by content regardless of whether either was
+    # replayed.  Pickling keeps it, so pool workers reuse the columns.
+    _arrays: Optional[TraceArrays] = field(
+        default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.accesses)
@@ -131,6 +197,16 @@ class Trace:
 
     def __getitem__(self, index):
         return self.accesses[index]
+
+    def arrays(self) -> TraceArrays:
+        """The cached struct-of-arrays view of this trace.
+
+        Build-once: call only after the access list is final (traces
+        are append-once everywhere in this package).
+        """
+        if self._arrays is None or len(self._arrays) != len(self.accesses):
+            self._arrays = TraceArrays(self.accesses)
+        return self._arrays
 
     @property
     def instruction_count(self) -> int:

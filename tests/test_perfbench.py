@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.harness.perfbench import (
     SCHEMA_VERSION,
+    compare_bench,
     load_bench,
     run_bench,
     save_bench,
@@ -21,12 +22,16 @@ def report():
 def test_report_is_valid_and_complete(report):
     validate_bench(report)
     assert report["schema_version"] == SCHEMA_VERSION
+    assert report["replay_engine"] == "fast"
     assert report["trace_gen_s"] >= 0.0
     assert report["baseline_replay_s"] >= 0.0
+    assert report["baseline_replay_reference_s"] >= 0.0
     assert set(report["prefetchers"]) == {"nextline", "pathfinder"}
     for cell in report["prefetchers"].values():
         assert cell["prefetch_file_s"] >= 0.0
         assert cell["replay_s"] >= 0.0
+        assert cell["replay_reference_s"] >= 0.0
+        assert cell["replay_speedup"] > 0.0
         assert cell["speedup"] > 0.0
         assert cell["issued"] >= 0
 
@@ -58,9 +63,14 @@ def test_bad_arguments_rejected():
 
 @pytest.mark.parametrize("mutate", [
     lambda r: r.pop("trace_gen_s"),
+    lambda r: r.pop("replay_engine"),
+    lambda r: r.pop("baseline_replay_reference_s"),
     lambda r: r.update(schema_version=99),
+    lambda r: r.update(replay_engine="turbo"),
     lambda r: r.update(prefetchers={}),
     lambda r: r["prefetchers"]["nextline"].pop("replay_s"),
+    lambda r: r["prefetchers"]["nextline"].pop("replay_reference_s"),
+    lambda r: r["prefetchers"]["nextline"].pop("replay_speedup"),
     lambda r: r["prefetchers"]["nextline"].update(prefetch_file_s=-1.0),
     lambda r: r["prefetchers"]["nextline"].pop("speedup"),
 ])
@@ -71,6 +81,34 @@ def test_validate_rejects_malformed_reports(report, mutate):
     mutate(broken)
     with pytest.raises(ConfigError):
         validate_bench(broken)
+
+
+def test_compare_passes_identical_reports(report):
+    assert compare_bench(report, report) == []
+
+
+def test_compare_flags_replay_regressions(report):
+    import copy
+
+    slow = copy.deepcopy(report)
+    slow["baseline_replay_s"] = report["baseline_replay_s"] * 2.0 + 1.0
+    slow["prefetchers"]["nextline"]["replay_s"] = (
+        report["prefetchers"]["nextline"]["replay_s"] * 2.0 + 1.0)
+    regressions = compare_bench(slow, report, max_regress=0.25)
+    assert len(regressions) == 2
+    assert any("baseline_replay_s" in line for line in regressions)
+    assert any("nextline.replay_s" in line for line in regressions)
+    # A generous allowance lets the same slowdown through.
+    assert compare_bench(slow, report, max_regress=1000.0) == []
+
+
+def test_compare_rejects_mismatched_experiments(report):
+    import copy
+
+    other = copy.deepcopy(report)
+    other["n_accesses"] = report["n_accesses"] + 1
+    with pytest.raises(ConfigError):
+        compare_bench(other, report)
 
 
 def test_load_rejects_unreadable(tmp_path):

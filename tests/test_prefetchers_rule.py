@@ -239,3 +239,37 @@ def test_sisb_reset():
 def test_sisb_config_validation():
     with pytest.raises(ConfigError):
         SISBConfig(degree=0)
+
+
+def test_sisb_quiet_on_cc5_strong_on_temporal_workload():
+    """Regression for the BENCH_perf cc-5 cell: SISB issuing ~nothing
+    there is by design, not a bug.
+
+    cc-5 has no temporal-replay component — its delta and interleaved
+    streams walk fresh pages (addresses never repeat) and the pointer
+    chase revisits a page only during short local runs, whose successor
+    after any revisited block is random.  So SISB records chains it can
+    never profitably replay: a handful of stray prefetches, none
+    useful.  The same prefetcher on a replay-heavy workload must be
+    strong, which pins the contrast (paper §5: temporal prefetchers
+    have nothing to replay on GAP traces).
+    """
+    from repro.harness.runner import default_hierarchy
+    from repro.sim.simulator import simulate
+    from repro.traces.workloads import make_trace
+
+    hierarchy = default_hierarchy()
+
+    cc = make_trace("cc-5", 8000, seed=0)
+    cc_reqs = generate_prefetches(SISBPrefetcher(), cc)
+    cc_result = simulate(cc, cc_reqs, hierarchy, "sisb")
+    assert cc_result.pf_issued < 50  # stray chase revisits only
+    accuracy = (cc_result.pf_useful / cc_result.pf_issued
+                if cc_result.pf_issued else 0.0)
+    assert accuracy < 0.2
+
+    temporal = make_trace("471-omnetpp-s1", 8000, seed=0)
+    t_reqs = generate_prefetches(SISBPrefetcher(), temporal)
+    t_result = simulate(temporal, t_reqs, hierarchy, "sisb")
+    assert t_result.pf_issued > 1000
+    assert t_result.pf_useful / t_result.pf_issued > 0.5

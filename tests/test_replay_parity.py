@@ -1,0 +1,113 @@
+"""Cross-engine parity: the fast replay engine must be bit-identical.
+
+The fast engine (``repro.sim.fast_engine``) re-implements the reference
+replay loop with inlined flat state; its only permitted difference is
+wall-clock time.  These tests replay the same (trace, prefetch file)
+under both engines for every registered prefetcher across three
+behaviourally distinct workloads and require the *entire*
+:class:`~repro.sim.metrics.SimResult` — cycles included, to the last
+float bit — to match.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MemorySink, Observability, Tracer
+from repro.prefetchers.base import generate_prefetches
+from repro.sim.cache import CacheConfig
+from repro.sim.simulator import HierarchyConfig, Simulator, simulate
+from repro.traces.workloads import make_trace
+from repro.harness.runner import PREFETCHER_FACTORIES, default_hierarchy
+
+#: Three workloads with distinct pattern mixes: delta/interleaved-heavy,
+#: temporal-replay-heavy, and irregular chase-heavy.
+PARITY_WORKLOADS = ("cc-5", "471-omnetpp-s1", "605-mcf-s1")
+N_ACCESSES = 2500
+SEED = 11
+
+_trace_cache = {}
+_request_cache = {}
+
+
+def _trace(workload: str):
+    if workload not in _trace_cache:
+        _trace_cache[workload] = make_trace(workload, N_ACCESSES, seed=SEED)
+    return _trace_cache[workload]
+
+
+def _requests(workload: str, prefetcher: str):
+    key = (workload, prefetcher)
+    if key not in _request_cache:
+        factory = PREFETCHER_FACTORIES[prefetcher]
+        _request_cache[key] = generate_prefetches(factory(), _trace(workload))
+    return _request_cache[key]
+
+
+@pytest.mark.parametrize("workload", PARITY_WORKLOADS)
+@pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
+def test_engines_bit_identical(workload, prefetcher):
+    trace = _trace(workload)
+    requests = _requests(workload, prefetcher)
+    reference = simulate(trace, requests, default_hierarchy(),
+                         prefetcher, engine="reference")
+    fast = simulate(trace, requests, default_hierarchy(),
+                    prefetcher, engine="fast")
+    assert fast == reference
+
+
+def test_engines_bit_identical_without_prefetches():
+    trace = _trace("cc-5")
+    reference = simulate(trace, (), default_hierarchy(), "none",
+                         engine="reference")
+    fast = simulate(trace, (), default_hierarchy(), "none", engine="fast")
+    assert fast == reference
+
+
+def test_fast_engine_is_the_default():
+    sim = Simulator(default_hierarchy())
+    assert sim.engine_used == "fast"
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ConfigError):
+        Simulator(default_hierarchy(), engine="turbo")
+
+
+def test_srrip_config_falls_back_to_reference():
+    config = HierarchyConfig(
+        llc=CacheConfig(name="LLC", sets=128, ways=16, latency=20,
+                        replacement="srrip"))
+    sim = Simulator(config, engine="fast")
+    assert sim.engine_requested == "reference"
+    assert sim.engine_used == "reference"
+    # And the run still works end to end.
+    result = sim.run(_trace("cc-5"), (), "none")
+    assert result.llc_misses > 0
+
+
+def test_event_tracing_falls_back_to_reference():
+    obs = Observability(tracer=Tracer(MemorySink()))
+    sim = Simulator(default_hierarchy(), obs=obs, engine="fast")
+    assert sim.engine_used == "reference"
+
+
+def test_metrics_observability_parity():
+    """Metrics-only observability stays on the fast engine and mirrors
+    the same counters and DRAM wait histogram as the reference."""
+    trace = _trace("471-omnetpp-s1")
+    requests = _requests("471-omnetpp-s1", "nextline")
+
+    def run(engine):
+        obs = Observability()
+        sim = Simulator(default_hierarchy(), obs=obs, engine=engine)
+        result = sim.run(trace, requests, "nextline")
+        return sim, result, obs.registry.snapshot()
+
+    fast_sim, fast_result, fast_metrics = run("fast")
+    ref_sim, ref_result, ref_metrics = run("reference")
+    assert fast_sim.engine_used == "fast"
+    assert ref_sim.engine_used == "reference"
+    assert fast_result == ref_result
+    assert fast_metrics == ref_metrics
