@@ -15,11 +15,20 @@ Four subcommands, installed as the ``repro`` console script::
         structured lifecycle events and a metrics snapshot to files.
 
     repro experiment <id> [--loads N] [--workloads a,b,...] [--jobs J]
+              [--retries R] [--cell-timeout S] [--resume PATH]
+              [--inject-faults SPEC]
               [--events-out e.jsonl] [--metrics-out m.json]
         Regenerate one of the paper's tables/figures (see
         ``repro.harness.EXPERIMENTS`` for ids).  Grid-shaped
         experiments fan their cells out over ``--jobs`` worker
         processes; the resulting tables are identical either way.
+        ``--retries``/``--cell-timeout`` arm supervised execution
+        (failed cells retry with backoff, hung cells are reclaimed,
+        worker crashes respawn the pool and fall back to serial);
+        ``--resume PATH`` journals completed cells to an atomic
+        checkpoint and restores them bit-identically; and
+        ``--inject-faults`` arms deterministic chaos (``help`` lists
+        the fault points).
 
     repro bench [--small] [--out BENCH_perf.json] [--prefetchers a,b]
               [--loads N] [--seed S] [--repeats R]
@@ -35,7 +44,6 @@ Four subcommands, installed as the ``repro`` console script::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
@@ -48,6 +56,17 @@ from .harness import (
     summarize_events,
 )
 from .obs import JsonlSink, Observability, Profiler, Tracer, read_events
+from .resilience import (
+    FAULT_POINTS,
+    FaultPlan,
+    ResiliencePolicy,
+    atomic_write_json,
+    drain_stats,
+    injected,
+    resolve_journal,
+    set_default_checkpoint,
+    set_default_policy,
+)
 from .sim.simulator import HierarchyConfig
 from .traces import WORKLOAD_NAMES, make_trace
 from .traces.trace import save_trace
@@ -96,10 +115,25 @@ def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
 
 
 def _write_metrics(obs: Observability, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(obs.snapshot(), fh, indent=2, default=float)
-        fh.write("\n")
+    atomic_write_json(path, obs.snapshot(), indent=2, default=float)
     print(f"\n[metrics snapshot written to {path}]")
+
+
+def _print_fault_points() -> None:
+    rows = [[name, description]
+            for name, description in sorted(FAULT_POINTS.items())]
+    print(format_table(["fault point", "description"], rows,
+                       title="--inject-faults points "
+                             "(SPEC: point[:k=v,...][;point...])"))
+
+
+def _fault_plan(args: argparse.Namespace, seed: int = 0
+                ) -> Optional[FaultPlan]:
+    """Parse ``--inject-faults`` (``None`` when the flag is absent)."""
+    spec = getattr(args, "inject_faults", None)
+    if not spec:
+        return None
+    return FaultPlan.parse(spec, seed=seed)
 
 
 def _select_hierarchy(name: str) -> HierarchyConfig:
@@ -107,18 +141,23 @@ def _select_hierarchy(name: str) -> HierarchyConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.inject_faults in ("help", "list"):
+        _print_fault_points()
+        return 0
+    plan = _fault_plan(args, seed=args.seed)
     obs = _make_obs(args)
     evaluation = Evaluation(n_accesses=args.loads, seed=args.seed,
                             hierarchy=_select_hierarchy(args.hierarchy),
                             budget=args.budget, obs=obs,
                             engine=args.engine)
     try:
-        if obs is not None and obs.profiler.capture_memory:
-            with obs.profiler.memory():
+        with injected(plan):
+            if obs is not None and obs.profiler.capture_memory:
+                with obs.profiler.memory():
+                    row = evaluation.run(args.workload, args.prefetcher)
+            else:
                 row = evaluation.run(args.workload, args.prefetcher)
-        else:
-            row = evaluation.run(args.workload, args.prefetcher)
-        baseline = evaluation.baseline(args.workload)
+            baseline = evaluation.baseline(args.workload)
     finally:
         if obs is not None:
             obs.close()
@@ -140,6 +179,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if obs is not None and obs.profiler.peak_memory_bytes is not None:
         rows.append(["peak memory",
                      f"{obs.profiler.peak_memory_bytes / 1e6:.1f} MB"])
+    if row.extras.get("prefetcher_errors"):
+        rows.append(["prefetcher errors (guarded)",
+                     row.extras["prefetcher_errors"]])
+        rows.append(["quarantined", row.extras.get("quarantined", False)])
     print(format_table(["metric", "value"], rows,
                        title=f"{args.prefetcher} on {args.workload} "
                              f"({args.loads} loads, seed {args.seed}, "
@@ -153,6 +196,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.inject_faults in ("help", "list"):
+        _print_fault_points()
+        return 0
+    plan = _fault_plan(args)
     kwargs = {}
     if args.loads is not None:
         kwargs["n_accesses"] = args.loads
@@ -170,24 +217,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         else:
             print(f"[note: {args.experiment} is not grid-shaped; "
                   f"--jobs ignored]")
+
+    # Resilience context: the policy/journal are installed as ambient
+    # defaults (picked up by every Evaluation.run_cells the experiment
+    # makes) so experiment signatures stay unchanged.
+    policy = None
+    if args.retries or args.cell_timeout is not None:
+        policy = ResiliencePolicy(retries=args.retries,
+                                  cell_timeout_s=args.cell_timeout)
+    journal = resolve_journal(args.resume) if args.resume else None
+    if journal is not None and len(journal):
+        print(f"[resilience] resuming from {args.resume}: "
+              f"{len(journal)} cell(s) journaled")
+
     obs = _make_obs(args)
-    if obs is not None:
-        try:
-            with obs.profiler.phase("experiment"), \
-                    obs.tracer.span(f"experiment:{args.experiment}"):
+    try:
+        set_default_policy(policy)
+        set_default_checkpoint(journal)
+        with injected(plan):
+            if obs is not None:
+                try:
+                    with obs.profiler.phase("experiment"), \
+                            obs.tracer.span(f"experiment:{args.experiment}"):
+                        result = run_experiment(args.experiment, **kwargs)
+                    for key, value in result.metrics.items():
+                        obs.tracer.emit("experiment.metric",
+                                        experiment=args.experiment,
+                                        key=key, value=value)
+                        obs.registry.gauge("experiment.metric",
+                                           experiment=args.experiment,
+                                           key=key).set(value)
+                finally:
+                    obs.close()
+            else:
                 result = run_experiment(args.experiment, **kwargs)
-            for key, value in result.metrics.items():
-                obs.tracer.emit("experiment.metric",
-                                experiment=args.experiment,
-                                key=key, value=value)
-                obs.registry.gauge("experiment.metric",
-                                   experiment=args.experiment,
-                                   key=key).set(value)
-        finally:
-            obs.close()
-    else:
-        result = run_experiment(args.experiment, **kwargs)
+    finally:
+        set_default_policy(None)
+        set_default_checkpoint(None)
     print(result.format())
+    stats = drain_stats()
+    if stats is not None:
+        print(f"\n[resilience] {stats.summary()}")
     if args.json:
         result.save_json(args.json)
         print(f"\n[metrics written to {args.json}]")
@@ -260,6 +330,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a JSON metrics/profile snapshot to FILE")
 
 
+def _add_fault_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+             "'worker.crash:cells=0;prefetcher.access:rate=0.1' "
+             "(pass 'help' to list fault points)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -293,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--peak-memory", action="store_true",
                        help="capture tracemalloc peak memory for the run")
     _add_obs_flags(p_run)
+    _add_fault_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiment",
@@ -305,7 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for grid-shaped experiments "
                             "(1 = serial; results are identical either way)")
+    p_exp.add_argument("--retries", type=int, default=0,
+                       help="retries per failed grid cell (with backoff); "
+                            "exhausted cells degrade to zeroed rows")
+    p_exp.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="S",
+                       help="wall-clock budget per grid cell; hung cells "
+                            "are reclaimed and charged a retry")
+    p_exp.add_argument("--resume", metavar="PATH",
+                       help="checkpoint journal: completed cells are "
+                            "restored bit-identically, new ones appended")
     _add_obs_flags(p_exp)
+    _add_fault_flag(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_bench = sub.add_parser(

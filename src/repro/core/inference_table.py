@@ -146,6 +146,18 @@ class InferenceTable:
         """Total labels currently assigned across all neurons."""
         return sum(len(slots) for slots in self._slots)
 
+    def reset_neuron(self, neuron: int) -> None:
+        """Erase one neuron's labels and pending confirmation.
+
+        Called when the SNN detects non-finite weights and reinitialises
+        that neuron: its labels describe a model that no longer exists,
+        so keeping them would poison future predictions.
+        """
+        self._check_neuron(neuron)
+        self.labels_erased += len(self._slots[neuron])
+        self._slots[neuron] = []
+        self._pending[neuron] = None
+
     def reset(self) -> None:
         """Erase every label (keeps configuration and statistics)."""
         self._slots = [[] for _ in range(self.n_neurons)]

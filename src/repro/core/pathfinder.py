@@ -62,6 +62,9 @@ class PathfinderPrefetcher(Prefetcher):
         self.snn_queries = 0
         self.stdp_updates = 0
         self.prefetches_emitted = 0
+        # Neurons reinitialised by the SNN's weight-health check; their
+        # inference-table labels are erased alongside (resilience).
+        self.neuron_repairs = 0
         # Table 1 instrumentation (full-interval mode only): how often
         # the highest-potential neuron after the first tick matches the
         # interval's most-firing neuron.
@@ -140,6 +143,11 @@ class PathfinderPrefetcher(Prefetcher):
         scope.counter("snn.encoder_cache_hits").inc(self.encoder.cache_hits)
         scope.counter("snn.encoder_cache_misses").inc(
             self.encoder.cache_misses)
+        if self.neuron_repairs:
+            scope.counter("snn.neuron_repairs").inc(self.neuron_repairs)
+            self._obs.tracer.emit(
+                "snn.neuron_repaired", prefetcher=self.name,
+                repairs=self.neuron_repairs)
         self._obs.tracer.emit(
             "snn.summary", prefetcher=self.name, queries=self.snn_queries,
             stdp_updates=self.stdp_updates, spikes=total_spikes,
@@ -228,6 +236,17 @@ class PathfinderPrefetcher(Prefetcher):
         self.prefetches_emitted += len(addresses)
         return addresses
 
+    def _drain_repairs(self) -> None:
+        """Propagate SNN weight repairs into the inference table.
+
+        A repaired neuron is a brand-new model: its labels were learned
+        by weights that no longer exist, so they are erased rather than
+        left to mispredict until confidence drains.
+        """
+        for neuron in self.network.drain_repaired_neurons():
+            self.inference_table.reset_neuron(neuron)
+            self.neuron_repairs += 1
+
     def _run_network(self, rates: np.ndarray, learn: bool,
                      active: Optional[np.ndarray] = None) -> RunRecord:
         if learn:
@@ -241,8 +260,10 @@ class PathfinderPrefetcher(Prefetcher):
                 binary=True if active is not None else None)
             if self.monitor is not None:
                 self.monitor.record(record)
+            self._drain_repairs()
             return record
         record = self.network.present(rates, learn=learn)
+        self._drain_repairs()
         if self.monitor is not None:
             self.monitor.record(record)
         if record.winner is not None:
@@ -280,6 +301,7 @@ class PathfinderPrefetcher(Prefetcher):
         self.snn_queries = 0
         self.stdp_updates = 0
         self.prefetches_emitted = 0
+        self.neuron_repairs = 0
         self.first_tick_matches = 0
         self.first_tick_total = 0
         if self.monitor is not None:

@@ -69,12 +69,10 @@ class ExperimentResult:
         }
 
     def save_json(self, path) -> None:
-        """Write :meth:`to_dict` as JSON to ``path``."""
-        import json
-        from pathlib import Path
+        """Write :meth:`to_dict` as JSON to ``path`` (atomic replace)."""
+        from ..resilience.atomic import atomic_write_json
 
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
-                                         default=float) + "\n")
+        atomic_write_json(path, self.to_dict(), indent=2, default=float)
 
 
 # ---------------------------------------------------------------------------

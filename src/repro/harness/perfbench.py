@@ -246,10 +246,13 @@ def compare_bench(report: Dict, baseline: Dict,
 
 
 def save_bench(report: Dict, path) -> None:
-    """Validate and write a report as pretty-printed JSON."""
+    """Validate and write a report as pretty-printed JSON (atomically —
+    a crash mid-write must never leave a torn baseline for the CI
+    regression gate to diff against)."""
+    from ..resilience.atomic import atomic_write_json
+
     validate_bench(report)
-    Path(path).write_text(json.dumps(report, indent=2, sort_keys=False)
-                          + "\n")
+    atomic_write_json(path, report, indent=2, sort_keys=False)
 
 
 def load_bench(path) -> Dict:

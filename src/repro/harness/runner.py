@@ -8,6 +8,8 @@ coverage against a no-prefetch baseline run of the same trace.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import statistics
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -15,8 +17,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import PathfinderConfig, PathfinderPrefetcher
-from ..errors import ConfigError
+from ..errors import ConfigError, WorkerCrashError
 from ..obs import Observability
+from ..resilience import faults
+from ..resilience import supervisor as resilience_supervisor
+from ..resilience.checkpoint import cell_key, resolve_journal
+from ..resilience.guard import GuardedPrefetcher
+from ..resilience.supervisor import ResiliencePolicy
 from ..prefetchers import (
     AdaptiveEnsemblePrefetcher,
     BestOffsetPrefetcher,
@@ -128,6 +135,10 @@ class EvalRow:
     #: Wall-clock breakdown of this row's phases (seconds), e.g.
     #: ``{"prefetch_file_s": ..., "replay_s": ...}``.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Resilience accounting: empty for a clean run; otherwise keys like
+    #: ``outcome`` ("ok"/"retried"/"failed"), ``attempts``, ``error``,
+    #: ``prefetcher_errors``, ``quarantined`` (see docs/architecture.md).
+    extras: Dict[str, object] = field(default_factory=dict)
 
 
 def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
@@ -144,9 +155,17 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
     the per-phase wall times land in :attr:`EvalRow.timings` either way.
     ``engine`` selects the replay engine (results are bit-identical;
     see :class:`~repro.sim.simulator.Simulator`).
+
+    The prefetcher runs behind a
+    :class:`~repro.resilience.guard.GuardedPrefetcher`: a healthy model
+    passes through bit-identically (the parity suites assert this), a
+    throwing one is quarantined to no-prefetch with the degradation
+    recorded in :attr:`EvalRow.extras` instead of aborting the run.
     """
     obs = obs if obs is not None else Observability.disabled()
     hierarchy = hierarchy or default_hierarchy()
+    if not isinstance(prefetcher, GuardedPrefetcher):
+        prefetcher = GuardedPrefetcher(prefetcher)
     prefetcher.attach_observability(obs)
     timings: Dict[str, float] = {}
     start = time.perf_counter()
@@ -160,6 +179,11 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
                           prefetcher_name=prefetcher.name, obs=obs,
                           engine=engine)
     timings["replay_s"] = time.perf_counter() - start
+    extras: Dict[str, object] = {}
+    if prefetcher.errors:
+        extras["prefetcher_errors"] = prefetcher.errors
+        extras["quarantined"] = prefetcher.quarantined
+        extras["error"] = prefetcher.last_error
     return EvalRow(
         workload=trace.name,
         prefetcher=prefetcher.name,
@@ -171,25 +195,50 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
         useful=result.pf_useful,
         baseline_misses=baseline.llc_misses,
         result=result,
-        timings=timings)
+        timings=timings,
+        extras=extras)
+
+
+def _worker_faults(attempt: int, index: Optional[int]) -> None:
+    """Fire the ``worker.crash`` / ``worker.hang`` fault points.
+
+    Only ever fires inside a child process: during the supervisor's
+    serial fallback the same task body runs in the parent, where
+    killing or hanging would defeat the degradation being tested.
+    """
+    if multiprocessing.parent_process() is None:
+        return
+    if faults.fires("worker.crash", attempt=attempt, index=index):
+        os._exit(13)
+    site = faults.fires("worker.hang", attempt=attempt, index=index)
+    if site is not None:
+        time.sleep(site.seconds)
 
 
 def _run_cell_task(task: Tuple) -> Tuple[EvalRow, Optional[object]]:
     """Worker-process body for one parallel grid cell.
 
     Receives everything it needs as picklable values (trace, baseline,
-    cell spec, hierarchy, budget).  When the parent session is
-    observed, the worker records into a private
-    :class:`~repro.obs.Observability` bundle and ships its registry
-    back for the parent to :meth:`~repro.obs.MetricsRegistry.merge`;
-    tracer sinks stay parent-side (file handles don't cross process
-    boundaries).
+    cell spec, hierarchy, budget) plus the resilience context: the
+    parent's :class:`~repro.resilience.faults.FaultPlan` (re-armed here
+    so injection crosses the process boundary), the attempt number
+    (lets first-attempt-only faults stand down on retries), and the
+    cell index (lets ``cells=``-scoped faults pick their victim).
+
+    When the parent session is observed, the worker records into a
+    private :class:`~repro.obs.Observability` bundle and ships its
+    registry back for the parent to
+    :meth:`~repro.obs.MetricsRegistry.merge`; tracer sinks stay
+    parent-side (file handles don't cross process boundaries).
     """
-    trace, baseline, spec, hierarchy, budget, observe, engine = task
-    obs = Observability() if observe else None
-    row = run_prefetcher(trace, _spec_prefetcher(spec), baseline,
-                         hierarchy=hierarchy, budget=budget, obs=obs,
-                         engine=engine)
+    (trace, baseline, spec, hierarchy, budget, observe, engine,
+     plan, attempt, index) = task
+    with faults.injected(plan):
+        _worker_faults(attempt, index)
+        obs = Observability() if observe else None
+        row = run_prefetcher(trace, _spec_prefetcher(spec), baseline,
+                             hierarchy=hierarchy, budget=budget, obs=obs,
+                             engine=engine)
     return row, (obs.registry if obs is not None else None)
 
 
@@ -218,6 +267,15 @@ class Evaluation:
     #: Replay engine for every simulation in the grid ("fast" or
     #: "reference"); results are bit-identical, only wall-clock differs.
     engine: str = "fast"
+    #: Retry/timeout/degradation policy for ``run_cells``.  ``None``
+    #: falls back to the ambient default (set by the CLI's ``--retries``
+    #: / ``--cell-timeout``); with neither, grids run unsupervised on
+    #: the exact pre-resilience code path.
+    policy: Optional[ResiliencePolicy] = None
+    #: Checkpoint journal (or path) for ``run_cells``; completed cells
+    #: are journaled and skipped bit-identically on resume.  ``None``
+    #: falls back to the ambient default (the CLI's ``--resume``).
+    checkpoint: Optional[object] = None
     _traces: Dict[str, Trace] = field(default_factory=dict)
     _baselines: Dict[str, SimResult] = field(default_factory=dict)
 
@@ -230,8 +288,10 @@ class Evaluation:
         """The cached trace for a workload (generated on first use)."""
         if workload not in self._traces:
             with self._obs().profiler.phase("trace_gen"):
-                self._traces[workload] = make_trace(
-                    workload, self.n_accesses, seed=self.seed)
+                trace = make_trace(workload, self.n_accesses,
+                                   seed=self.seed)
+            # Inert unless the trace.corrupt fault point is armed.
+            self._traces[workload] = faults.corrupt_trace(trace)
         return self._traces[workload]
 
     def baseline(self, workload: str) -> SimResult:
@@ -260,42 +320,181 @@ class Evaluation:
                               hierarchy=self.hierarchy, budget=self.budget,
                               obs=self._obs(), engine=self.engine)
 
+    def _cell_key(self, workload: str, spec: CellSpec) -> str:
+        return cell_key(workload, spec, seed=self.seed,
+                        n_accesses=self.n_accesses, budget=self.budget,
+                        engine=self.engine, hierarchy=self.hierarchy)
+
+    def _failed_row(self, workload: str, spec: CellSpec,
+                    outcome) -> EvalRow:
+        """A zeroed placeholder for a cell that exhausted its retries."""
+        name = spec if isinstance(spec, str) else "pathfinder"
+        result = SimResult(trace_name=workload, prefetcher_name=name)
+        return EvalRow(workload=workload, prefetcher=name, ipc=0.0,
+                       speedup=0.0, accuracy=0.0, coverage=0.0, issued=0,
+                       useful=0, baseline_misses=0, result=result,
+                       extras={"outcome": "failed",
+                               "attempts": outcome.attempts,
+                               "error": outcome.error})
+
+    def _publish_resilience(self, stats) -> None:
+        resilience_supervisor.note_stats(stats)
+        if self.obs is None or not self.obs.enabled:
+            return
+        scope = self.obs.registry.scope(component="resilience")
+        for label, count in stats.cells.items():
+            scope.counter(f"cells.{label}").inc(count)
+        if stats.pool_respawns:
+            scope.counter("pool.respawns").inc(stats.pool_respawns)
+        if stats.timeouts:
+            scope.counter("cell.timeouts").inc(stats.timeouts)
+        if stats.serial_fallback:
+            scope.counter("pool.serial_fallback").inc()
+
     def run_cells(self, cells: Sequence[Tuple[str, CellSpec]],
-                  jobs: int = 1) -> List[EvalRow]:
+                  jobs: int = 1,
+                  policy: Optional[ResiliencePolicy] = None,
+                  checkpoint=None) -> List[EvalRow]:
         """Evaluate arbitrary (workload, spec) cells, optionally in parallel.
 
         Args:
             cells: ``(workload, spec)`` pairs where ``spec`` is a
                 registry prefetcher name or a ``PathfinderConfig``.
             jobs: Worker processes; ``<= 1`` runs serially in-process.
+            policy: Retry/timeout policy; overrides the ``Evaluation``
+                field and the ambient CLI default.  With a policy, every
+                row's ``extras`` records its outcome and failed cells
+                degrade to zeroed placeholder rows (``policy.degrade``)
+                instead of aborting the grid.
+            checkpoint: Journal (or path) to record completed cells in;
+                cells already journaled under an identical key are
+                restored bit-identically instead of re-run.
 
         Returns:
             One ``EvalRow`` per cell, in the order given.
+
+        Raises:
+            WorkerCrashError: A cell failed and no degrading policy was
+                in force.  The exception carries ``partial_rows`` and
+                per-cell ``failures`` — finished work is never discarded.
         """
         cells = list(cells)
-        if jobs <= 1 or len(cells) <= 1:
-            return [self.run(w, spec) if isinstance(spec, str)
-                    else self.run_config(w, spec)
-                    for w, spec in cells]
+        if policy is None:
+            policy = (self.policy if self.policy is not None
+                      else resilience_supervisor.default_policy())
+        if checkpoint is None:
+            checkpoint = (self.checkpoint if self.checkpoint is not None
+                          else resilience_supervisor.default_checkpoint())
+        journal = resolve_journal(checkpoint)
+
+        rows: List[Optional[EvalRow]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        pending: List[int] = []
+        for i, (workload, spec) in enumerate(cells):
+            if journal is not None:
+                keys[i] = self._cell_key(workload, spec)
+                rows[i] = journal.get(keys[i])
+            if rows[i] is None:
+                pending.append(i)
+        if not pending:
+            return rows  # fully restored from the journal
+
+        def finish(i: int, row: EvalRow) -> None:
+            rows[i] = row
+            if journal is not None:
+                journal.record(keys[i], row)
+
+        if policy is None and (jobs <= 1 or len(pending) <= 1):
+            # The exact pre-resilience serial path (parity anchor).
+            for i in pending:
+                workload, spec = cells[i]
+                finish(i, self.run(workload, spec)
+                       if isinstance(spec, str)
+                       else self.run_config(workload, spec))
+            return rows
+
         # Traces/baselines are generated in the parent (filling the
         # caches) so every worker replays the identical access stream.
         observe = self.obs is not None and self.obs.enabled
-        tasks = [(self.trace(w), self.baseline(w), spec, self.hierarchy,
-                  self.budget, observe, self.engine) for w, spec in cells]
-        rows: List[EvalRow] = []
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            for row, registry in pool.map(_run_cell_task, tasks):
-                rows.append(row)
+        plan = faults.active()
+
+        def make_task(pos: int, attempt: int) -> Tuple:
+            i = pending[pos]
+            workload, spec = cells[i]
+            return (self.trace(workload), self.baseline(workload), spec,
+                    self.hierarchy, self.budget, observe, self.engine,
+                    plan, attempt, i)
+
+        if policy is None:
+            # Unsupervised fan-out: one submit per cell so a raising
+            # cell reports alongside its siblings' finished work
+            # instead of discarding it.
+            failures: Dict[int, str] = {}
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))) as pool:
+                futures = [pool.submit(_run_cell_task, make_task(pos, 0))
+                           for pos in range(len(pending))]
+                for pos, future in enumerate(futures):
+                    i = pending[pos]
+                    try:
+                        row, registry = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        failures[i] = f"{type(exc).__name__}: {exc}"
+                    else:
+                        finish(i, row)
+                        if registry is not None:
+                            self._obs().registry.merge(registry)
+            if failures:
+                raise WorkerCrashError(
+                    f"{len(failures)} of {len(cells)} grid cell(s) "
+                    f"failed (no retry policy in force)",
+                    partial_rows=list(rows), failures=failures)
+            return rows
+
+        # Supervised path: retries/backoff/timeouts, pool respawn on
+        # BrokenProcessPool, serial fallback, per-cell accounting.
+        if jobs <= 1:
+            outcomes, stats = resilience_supervisor.run_serial(
+                _run_cell_task, make_task, len(pending), policy)
+        else:
+            outcomes, stats = resilience_supervisor.run_supervised(
+                _run_cell_task, make_task, len(pending), jobs, policy)
+        failures = {}
+        for pos, outcome in enumerate(outcomes):
+            i = pending[pos]
+            workload, spec = cells[i]
+            if outcome.ok:
+                row, registry = outcome.value
                 if registry is not None:
                     self._obs().registry.merge(registry)
+                row.extras["outcome"] = outcome.outcome
+                row.extras["attempts"] = outcome.attempts
+                if outcome.error is not None:
+                    row.extras["error"] = outcome.error
+                finish(i, row)
+            elif policy.degrade:
+                # Degraded cell: placeholder row, NOT journaled, so a
+                # later --resume gets another shot at it.
+                rows[i] = self._failed_row(workload, spec, outcome)
+            else:
+                failures[i] = outcome.error or "cell failed"
+        self._publish_resilience(stats)
+        if failures:
+            raise WorkerCrashError(
+                f"{len(failures)} of {len(cells)} grid cell(s) failed "
+                f"after {policy.retries + 1} attempt(s)",
+                partial_rows=list(rows), failures=failures)
         return rows
 
     def run_grid(self, workloads: Sequence[str],
                  prefetchers: Sequence[str],
-                 jobs: int = 1) -> List[EvalRow]:
+                 jobs: int = 1,
+                 policy: Optional[ResiliencePolicy] = None,
+                 checkpoint=None) -> List[EvalRow]:
         """Evaluate the full grid, row-major by workload."""
         return self.run_cells([(workload, name) for workload in workloads
-                               for name in prefetchers], jobs=jobs)
+                               for name in prefetchers], jobs=jobs,
+                              policy=policy, checkpoint=checkpoint)
 
 
 @dataclass(frozen=True)
@@ -318,7 +517,9 @@ def multi_seed_grid(workloads: Sequence[str],
                     hierarchy: Optional[HierarchyConfig] = None,
                     budget: int = 2,
                     obs: Optional[Observability] = None,
-                    jobs: int = 1) -> List[SeedAggregate]:
+                    jobs: int = 1,
+                    policy: Optional[ResiliencePolicy] = None,
+                    checkpoint=None) -> List[SeedAggregate]:
     """Run a grid across several trace seeds and aggregate.
 
     Synthetic traces make seed sensitivity a real validity question;
@@ -331,12 +532,16 @@ def multi_seed_grid(workloads: Sequence[str],
         obs: Optional observability bundle shared by every per-seed
             evaluation (phases and metrics all land in one registry).
         jobs: Worker processes per seed grid; ``<= 1`` stays serial.
+        policy: Optional retry/timeout policy for every per-seed grid.
+        checkpoint: Optional shared journal — cell keys embed the seed,
+            so one journal resumes the whole multi-seed sweep.
     """
     if not seeds:
         raise ConfigError("need at least one seed")
     evaluations = [Evaluation(n_accesses=n_accesses, seed=seed,
                               hierarchy=hierarchy or default_hierarchy(),
-                              budget=budget, obs=obs)
+                              budget=budget, obs=obs, policy=policy,
+                              checkpoint=checkpoint)
                    for seed in seeds]
     cells = [(workload, name) for workload in workloads
              for name in prefetchers]

@@ -16,6 +16,7 @@ which ``repro report`` (and anything else) can re-read with
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
@@ -57,13 +58,20 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends one compact JSON object per event to a file."""
+    """Appends one compact JSON object per event to a file.
+
+    Events stream into a same-directory temp file that is renamed onto
+    ``path`` on :meth:`close`, so the final path only ever holds a
+    complete event log — a crash mid-run leaves the previous file (or
+    nothing) rather than a truncated one.
+    """
 
     enabled = True
 
     def __init__(self, path):
         self.path = path
-        self._fh = open(path, "w", encoding="utf-8")
+        self._tmp = f"{path}.{os.getpid()}.tmp"
+        self._fh = open(self._tmp, "w", encoding="utf-8")
 
     def write(self, event: Dict[str, object]) -> None:
         self._fh.write(json.dumps(event, separators=(",", ":"),
@@ -73,6 +81,7 @@ class JsonlSink:
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
+            os.replace(self._tmp, self.path)
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..errors import ConfigError
+from ..errors import ConfigError, PrefetchFileError, ReproError
 from ..types import MemoryAccess, PrefetchRequest, Trace
 
 
@@ -73,6 +73,15 @@ def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
 
     Returns:
         Prefetch records ordered by trigger instruction id.
+
+    Raises:
+        PrefetchFileError: An unguarded prefetcher raised mid-trace;
+            the original exception is chained, with the offending
+            access in the message.  Already-typed :class:`ReproError`
+            exceptions pass through unchanged.  (The harness wraps
+            prefetchers in a quarantining
+            :class:`~repro.resilience.guard.GuardedPrefetcher`, which
+            degrades instead of raising.)
     """
     if budget <= 0:
         raise ConfigError("prefetch budget must be positive")
@@ -80,7 +89,16 @@ def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
         prefetcher.train(trace)
     requests: List[PrefetchRequest] = []
     for access in trace:
-        addresses = prefetcher.process(access)
+        try:
+            addresses = prefetcher.process(access)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise PrefetchFileError(
+                f"{prefetcher.name} failed on access "
+                f"instr_id={access.instr_id} pc={access.pc:#x} "
+                f"address={access.address:#x}: "
+                f"{type(exc).__name__}: {exc}") from exc
         seen = set()
         for address in addresses:
             block = address >> 6

@@ -1,0 +1,54 @@
+"""Crash-safe file writes: temp file in the target directory + ``os.replace``.
+
+Every artifact the pipeline persists — perf reports, metrics snapshots,
+event streams, experiment JSON, checkpoint journals — goes through one
+of these helpers so a crash (or an injected one) can never leave a
+truncated file at the final path: readers either see the complete old
+content or the complete new content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str, fsync: bool = False) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).  With
+    ``fsync`` the data is flushed to disk before the rename — used by
+    the checkpoint journal, where the record must survive a power cut,
+    not just a process crash.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: PathLike, payload, indent: int = 2,
+                      sort_keys: bool = False, default=None,
+                      fsync: bool = False) -> None:
+    """Serialise ``payload`` and write it atomically as JSON + newline."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys,
+                      default=default) + "\n"
+    atomic_write_text(path, text, fsync=fsync)

@@ -1,0 +1,180 @@
+"""Checkpoint/resume journal for grid evaluations.
+
+A :class:`CheckpointJournal` records each completed grid cell — its
+self-describing key (workload, spec, seed, trace length, budget,
+hierarchy, engine) and its full serialised
+:class:`~repro.harness.runner.EvalRow` — as one JSON line.  Because
+every cell is an independent seeded run, restoring a journaled row is
+*bit-identical* to re-running the cell, so ``--resume`` after a
+mid-grid crash yields exactly the results of an uninterrupted run.
+
+Durability: the journal is rewritten atomically (temp file +
+``os.replace`` + fsync) on every record, so the file on disk is always
+a complete, parseable prefix of the run.  Loading tolerates one torn
+trailing line (a crash mid-rename on non-atomic filesystems) by
+dropping it; corruption anywhere else raises
+:class:`~repro.errors.CheckpointError` rather than silently resuming
+from bad state.
+
+JSON round-trips Python ints exactly and floats via ``repr`` (exact in
+Python 3), which is what makes the bit-identical guarantee hold for
+``SimResult``/``EvalRow`` payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..errors import CheckpointError
+from .atomic import atomic_write_text
+
+#: Bump when the journal layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+def row_to_dict(row) -> Dict:
+    """Serialise an ``EvalRow`` (including its ``SimResult``) to JSON-able
+    plain data."""
+    payload = dataclasses.asdict(row)
+    return payload
+
+
+def row_from_dict(payload: Dict):
+    """Rebuild an ``EvalRow`` from :func:`row_to_dict` output."""
+    from ..harness.runner import EvalRow
+    from ..sim.metrics import SimResult
+
+    try:
+        data = dict(payload)
+        data["result"] = SimResult(**data["result"])
+        return EvalRow(**data)
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"unreadable journaled row: {exc}") from exc
+
+
+class CheckpointJournal:
+    """Atomic JSONL journal mapping cell keys to completed rows.
+
+    Args:
+        path: Journal file; created on first record, loaded if present.
+        fsync: Flush records to disk before the rename (slower, power-
+            cut safe).  Defaults on — grids are minutes-long, journal
+            writes are per-cell.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._rows: Dict[str, Dict] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}") from exc
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # Torn trailing record from a mid-write crash: the
+                    # cell simply re-runs.
+                    break
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: corrupt journal line "
+                    f"({exc})") from exc
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("version") != JOURNAL_VERSION:
+                    raise CheckpointError(
+                        f"{self.path}: journal version "
+                        f"{record.get('version')!r} != {JOURNAL_VERSION}")
+            elif kind == "cell":
+                try:
+                    self._rows[record["key"]] = record["row"]
+                except KeyError as exc:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: cell record missing "
+                        f"{exc}") from exc
+            else:
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: unknown record kind {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def get(self, key: str):
+        """The journaled ``EvalRow`` for ``key``, or ``None``."""
+        payload = self._rows.get(key)
+        if payload is None:
+            return None
+        return row_from_dict(payload)
+
+    def record(self, key: str, row) -> None:
+        """Journal one completed cell and persist atomically."""
+        self._rows[key] = row_to_dict(row)
+        self._flush()
+
+    def _flush(self) -> None:
+        header = {"kind": "header", "version": JOURNAL_VERSION}
+        lines = [json.dumps(header, separators=(",", ":"))]
+        lines.extend(
+            json.dumps({"kind": "cell", "key": key, "row": payload},
+                       separators=(",", ":"), default=_coerce)
+            for key, payload in self._rows.items())
+        atomic_write_text(self.path, "\n".join(lines) + "\n",
+                          fsync=self.fsync)
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars hiding in extras/extra dicts."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def cell_key(workload: str, spec, *, seed: int, n_accesses: int,
+             budget: int, engine: str, hierarchy) -> str:
+    """Canonical, self-describing key for one grid cell.
+
+    ``spec`` is a registry prefetcher name or a ``PathfinderConfig``;
+    the hierarchy is fingerprinted field-by-field so a journal written
+    against different cache geometry can never be resumed silently.
+    """
+    if isinstance(spec, str):
+        spec_desc: object = spec
+    elif dataclasses.is_dataclass(spec):
+        spec_desc = {"pathfinder_config": dataclasses.asdict(spec)}
+    else:
+        raise CheckpointError(f"unsupported cell spec {spec!r}")
+    payload = {
+        "workload": workload,
+        "spec": spec_desc,
+        "seed": seed,
+        "n_accesses": n_accesses,
+        "budget": budget,
+        "engine": engine,
+        "hierarchy": dataclasses.asdict(hierarchy),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def resolve_journal(checkpoint: Optional[Union[str, Path,
+                                               "CheckpointJournal"]]
+                    ) -> Optional["CheckpointJournal"]:
+    """Accept a path or an existing journal; ``None`` passes through."""
+    if checkpoint is None or isinstance(checkpoint, CheckpointJournal):
+        return checkpoint
+    return CheckpointJournal(checkpoint)

@@ -1,0 +1,115 @@
+"""Runtime guard that keeps a misbehaving prefetcher from killing a run.
+
+:class:`GuardedPrefetcher` wraps any :class:`~repro.prefetchers.base.Prefetcher`
+and catches exceptions its ``train``/``process`` raise.  A healthy
+prefetcher passes through bit-identically (the parity suites assert
+this); a prefetcher that keeps throwing is *quarantined* after
+``quarantine_after`` consecutive per-access failures — it degrades to
+no-prefetch for the rest of the trace instead of aborting the replay,
+with the degradation recorded in telemetry and surfaced in the
+harness's ``EvalRow.extras``.
+
+The ``prefetcher.access`` fault point fires here, upstream of the
+catch, so chaos tests exercise exactly the guard path production
+failures would take.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import FaultInjectionError
+from ..prefetchers.base import Prefetcher
+from ..types import MemoryAccess, Trace
+from . import faults
+
+#: Consecutive per-access failures before the wrapped prefetcher is
+#: quarantined for the remainder of the run.
+DEFAULT_QUARANTINE_AFTER = 8
+
+
+class GuardedPrefetcher(Prefetcher):
+    """Transparent fault barrier around a prefetcher.
+
+    Attributes:
+        errors: Total exceptions swallowed (train + process).
+        consecutive_errors: Current run of failing accesses; any
+            successful access resets it.
+        quarantined: Once ``True``, ``process`` short-circuits to no
+            prefetches — the paper's "practical" deployment bar: a sick
+            learner must cost coverage, never correctness.
+        last_error: Message of the most recent swallowed exception.
+    """
+
+    def __init__(self, prefetcher: Prefetcher,
+                 quarantine_after: int = DEFAULT_QUARANTINE_AFTER):
+        self.inner = prefetcher
+        self.quarantine_after = quarantine_after
+        self.errors = 0
+        self.consecutive_errors = 0
+        self.quarantined = False
+        self.last_error: Optional[str] = None
+        self._obs = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """The wrapped prefetcher's name (reports stay comparable)."""
+        return self.inner.name
+
+    # -- delegation ----------------------------------------------------------
+
+    def attach_observability(self, obs) -> None:
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self.inner.attach_observability(obs)
+
+    def publish_telemetry(self) -> None:
+        self.inner.publish_telemetry()
+        if self._obs is None:
+            return
+        scope = self._obs.registry.scope(component="resilience",
+                                         prefetcher=self.name)
+        scope.counter("guard.errors").inc(self.errors)
+        scope.counter("guard.quarantined").inc(int(self.quarantined))
+        if self.errors:
+            self._obs.tracer.emit(
+                "guard.degraded", prefetcher=self.name, errors=self.errors,
+                quarantined=self.quarantined, last_error=self.last_error)
+
+    def train(self, trace: Trace) -> None:
+        """Offline training; a failure quarantines the whole model."""
+        try:
+            self.inner.train(trace)
+        except Exception as exc:  # noqa: BLE001 - the guard's entire job
+            self._record_failure(exc)
+            self.quarantined = True
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.errors = 0
+        self.consecutive_errors = 0
+        self.quarantined = False
+        self.last_error = None
+
+    # -- guarded per-access path ---------------------------------------------
+
+    def process(self, access: MemoryAccess) -> List[int]:
+        if self.quarantined:
+            return []
+        try:
+            if faults.ACTIVE is not None and \
+                    faults.fires("prefetcher.access") is not None:
+                raise FaultInjectionError(
+                    f"injected prefetcher.access fault ({self.name})")
+            addresses = self.inner.process(access)
+        except Exception as exc:  # noqa: BLE001 - the guard's entire job
+            self._record_failure(exc)
+            self.consecutive_errors += 1
+            if self.consecutive_errors >= self.quarantine_after:
+                self.quarantined = True
+            return []
+        self.consecutive_errors = 0
+        return addresses
+
+    def _record_failure(self, exc: Exception) -> None:
+        self.errors += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,357 @@
+"""Supervised parallel execution: retries, timeouts, pool respawn.
+
+:func:`run_supervised` fans tasks out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` like the plain
+``pool.map`` it replaces, but survives the three ways a grid dies in
+practice:
+
+- **a cell raises** — the attempt is retried with exponential backoff,
+  up to ``ResiliencePolicy.retries`` times; siblings keep running and
+  their finished work is never discarded;
+- **a worker process dies** (``BrokenProcessPool``) — the pool is
+  respawned (``max_pool_respawns`` times) and unfinished cells are
+  resubmitted; past the respawn budget the supervisor degrades to
+  serial in-process execution;
+- **a cell hangs** — ``cell_timeout_s`` expires, the pool (the only
+  way to reclaim a hung worker) is terminated and respawned, and the
+  cell is charged a retry while innocent in-flight siblings are
+  resubmitted without losing retry budget.
+
+Every cell's story is returned as a :class:`CellOutcome`
+(ok/retried/failed, attempts, timeouts, last error) so callers can
+record per-cell accounting instead of a binary grid pass/fail —
+the supervised-measurer pattern from fuzzing infrastructure.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Poll granularity (seconds) for deadline scans while futures run.
+_TICK_S = 0.05
+
+#: Ambient defaults set by the CLI (``--retries`` / ``--cell-timeout`` /
+#: ``--resume``) so experiment entry points need no signature changes;
+#: an explicit argument or ``Evaluation`` field always wins.
+_DEFAULT_POLICY: Optional["ResiliencePolicy"] = None
+_DEFAULT_CHECKPOINT = None
+
+#: SupervisorStats accumulated since the last :func:`drain_stats` —
+#: the CLI prints one "[resilience] cells: ..." line per experiment.
+_RUN_STATS: List["SupervisorStats"] = []
+
+
+def set_default_policy(policy: Optional["ResiliencePolicy"]) -> None:
+    """Install the ambient retry/timeout policy (``None`` clears it)."""
+    global _DEFAULT_POLICY
+    _DEFAULT_POLICY = policy
+
+
+def default_policy() -> Optional["ResiliencePolicy"]:
+    return _DEFAULT_POLICY
+
+
+def set_default_checkpoint(checkpoint) -> None:
+    """Install the ambient checkpoint journal/path (``None`` clears it)."""
+    global _DEFAULT_CHECKPOINT
+    _DEFAULT_CHECKPOINT = checkpoint
+
+
+def default_checkpoint():
+    return _DEFAULT_CHECKPOINT
+
+
+def note_stats(stats: "SupervisorStats") -> None:
+    """Record one grid's stats for a later :func:`drain_stats`."""
+    _RUN_STATS.append(stats)
+
+
+def drain_stats() -> Optional["SupervisorStats"]:
+    """Merge and clear accumulated stats; ``None`` if nothing ran."""
+    if not _RUN_STATS:
+        return None
+    merged = SupervisorStats()
+    for stats in _RUN_STATS:
+        merged.pool_respawns += stats.pool_respawns
+        merged.timeouts += stats.timeouts
+        merged.serial_fallback = merged.serial_fallback or stats.serial_fallback
+        for label, count in stats.cells.items():
+            merged.cells[label] = merged.cells.get(label, 0) + count
+    _RUN_STATS.clear()
+    return merged
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard to fight for each grid cell before giving up.
+
+    Attributes:
+        retries: Extra attempts per cell after the first failure.
+        backoff_s: Sleep before the first retry; doubles (by
+            ``backoff_factor``) per subsequent retry.
+        backoff_factor: Exponential backoff multiplier.
+        cell_timeout_s: Wall-clock budget per cell attempt; ``None``
+            disables hang detection.
+        degrade: On exhausted retries, emit a degraded (failed) outcome
+            and keep going instead of failing the whole grid.
+        serial_fallback: After the pool-respawn budget is spent, finish
+            the remaining cells serially in-process.
+        max_pool_respawns: Executor rebuilds tolerated before the
+            serial fallback (or, without one, a hard failure).
+    """
+
+    retries: int = 0
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    cell_timeout_s: Optional[float] = None
+    degrade: bool = True
+    serial_fallback: bool = True
+    max_pool_respawns: int = 1
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ConfigError("invalid backoff configuration")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ConfigError("cell_timeout_s must be positive")
+        if self.max_pool_respawns < 0:
+            raise ConfigError("max_pool_respawns must be >= 0")
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell across all its attempts."""
+
+    index: int
+    value: Any = None
+    ok: bool = False
+    attempts: int = 0
+    timeouts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def outcome(self) -> str:
+        """``"ok"`` / ``"retried"`` / ``"failed"`` (the extras label)."""
+        if self.ok:
+            return "ok" if self.attempts <= 1 else "retried"
+        return "failed"
+
+
+@dataclass
+class SupervisorStats:
+    """Aggregate accounting for one supervised run."""
+
+    pool_respawns: int = 0
+    timeouts: int = 0
+    serial_fallback: bool = False
+    #: outcome label -> count, e.g. {"ok": 10, "retried": 1}.
+    cells: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        parts = [f"{self.cells.get(k, 0)} {k}"
+                 for k in ("ok", "retried", "failed")]
+        extras = []
+        if self.pool_respawns:
+            extras.append(f"{self.pool_respawns} pool respawn(s)")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timeout(s)")
+        if self.serial_fallback:
+            extras.append("serial fallback")
+        tail = f" [{', '.join(extras)}]" if extras else ""
+        return f"cells: {', '.join(parts)}{tail}"
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard enough to reclaim hung workers."""
+    # ProcessPoolExecutor has no public kill; terminating the worker
+    # processes directly is the only way to free a hung cell's slot.
+    try:
+        processes = dict(getattr(pool, "_processes", None) or {})
+        for process in processes.values():
+            process.terminate()
+    except Exception:  # noqa: BLE001 - best-effort teardown
+        pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - the pool may already be broken
+        pass
+
+
+def run_supervised(worker: Callable[[Tuple], Any],
+                   make_task: Callable[[int, int], Tuple],
+                   n_cells: int, jobs: int,
+                   policy: ResiliencePolicy
+                   ) -> Tuple[List[CellOutcome], SupervisorStats]:
+    """Run ``n_cells`` tasks under supervision.
+
+    Args:
+        worker: Picklable module-level function applied to each task.
+        make_task: Builds the task tuple for ``(cell_index, attempt)`` —
+            the attempt number is threaded through so deterministic
+            fault plans can stand down on retries.
+        n_cells: Number of cells.
+        jobs: Worker processes (callers pass > 1; the serial path
+            belongs to the caller).
+        policy: Retry/timeout/degradation policy.
+
+    Returns:
+        ``(outcomes, stats)`` — one :class:`CellOutcome` per cell, in
+        index order.  Never raises for per-cell failures; inspect
+        ``outcome.ok``.
+    """
+    outcomes = [CellOutcome(i) for i in range(n_cells)]
+    stats = SupervisorStats()
+    max_attempts = policy.retries + 1
+    # (cell index, attempt, earliest submit time)
+    queue: List[Tuple[int, int, float]] = [(i, 0, 0.0)
+                                           for i in range(n_cells)]
+    running: Dict[Any, Tuple[int, int, Optional[float]]] = {}
+    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+        max_workers=min(jobs, max(1, n_cells)))
+    serial = False
+
+    def register_failure(index: int, attempt: int, error: str,
+                         charge: bool = True) -> None:
+        """Requeue a failed attempt or mark the cell failed for good."""
+        outcome = outcomes[index]
+        outcome.error = error
+        next_attempt = attempt + 1 if charge else attempt
+        outcome.attempts = max(outcome.attempts, attempt + 1)
+        if next_attempt < max_attempts or not charge:
+            delay = policy.backoff_s * (policy.backoff_factor ** attempt
+                                        if charge else 0.0)
+            queue.append((index, next_attempt, time.monotonic() + delay))
+        else:
+            outcome.ok = False
+
+    try:
+        while queue or running:
+            if serial:
+                _drain_serially(worker, make_task, queue, outcomes,
+                                policy, max_attempts)
+                break
+            now = time.monotonic()
+            for item in [q for q in queue if q[2] <= now]:
+                queue.remove(item)
+                index, attempt, _ = item
+                future = pool.submit(worker, make_task(index, attempt))
+                deadline = (now + policy.cell_timeout_s
+                            if policy.cell_timeout_s else None)
+                running[future] = (index, attempt, deadline)
+            if not running:
+                time.sleep(max(0.0, min(q[2] for q in queue) -
+                               time.monotonic()) or _TICK_S)
+                continue
+
+            deadlines = [d for _, _, d in running.values() if d is not None]
+            timeout = None
+            if deadlines or queue:
+                horizon = min(deadlines + [q[2] for q in queue])
+                timeout = max(_TICK_S, horizon - time.monotonic())
+            done, _ = wait(set(running), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            pool_poisoned = False
+            for future in done:
+                index, attempt, _ = running.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool as exc:
+                    pool_poisoned = True
+                    register_failure(index, attempt,
+                                     f"worker crashed: {exc}")
+                except Exception as exc:  # noqa: BLE001 - per-cell failure
+                    register_failure(index, attempt,
+                                     f"{type(exc).__name__}: {exc}")
+                else:
+                    outcome = outcomes[index]
+                    outcome.ok = True
+                    outcome.value = value
+                    outcome.attempts = attempt + 1
+
+            now = time.monotonic()
+            expired = [f for f, (_, _, d) in running.items()
+                       if d is not None and d < now]
+            for future in expired:
+                index, attempt, _ = running.pop(future)
+                stats.timeouts += 1
+                outcomes[index].timeouts += 1
+                register_failure(
+                    index, attempt,
+                    f"cell timed out after {policy.cell_timeout_s}s")
+            if expired:
+                # A hung worker only dies with its pool.
+                pool_poisoned = True
+
+            if pool_poisoned:
+                # Innocent in-flight cells are resubmitted without
+                # being charged a retry.
+                for index, attempt, _ in running.values():
+                    register_failure(index, attempt, "pool torn down",
+                                     charge=False)
+                running.clear()
+                _terminate_pool(pool)
+                stats.pool_respawns += 1
+                if stats.pool_respawns > policy.max_pool_respawns:
+                    if policy.serial_fallback:
+                        serial = True
+                        pool = None
+                    else:
+                        break  # unfinished cells stay failed
+                else:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(jobs, max(1, n_cells)))
+        if serial:
+            stats.serial_fallback = True
+    finally:
+        if pool is not None:
+            _terminate_pool(pool)
+
+    for outcome in outcomes:
+        label = outcome.outcome
+        stats.cells[label] = stats.cells.get(label, 0) + 1
+    return outcomes, stats
+
+
+def run_serial(worker, make_task, n_cells: int, policy: ResiliencePolicy
+               ) -> Tuple[List[CellOutcome], SupervisorStats]:
+    """Serial counterpart of :func:`run_supervised` (same retry policy,
+    same outcome accounting, no pool)."""
+    outcomes = [CellOutcome(i) for i in range(n_cells)]
+    queue = [(i, 0, 0.0) for i in range(n_cells)]
+    _drain_serially(worker, make_task, queue, outcomes, policy,
+                    policy.retries + 1)
+    stats = SupervisorStats()
+    for outcome in outcomes:
+        label = outcome.outcome
+        stats.cells[label] = stats.cells.get(label, 0) + 1
+    return outcomes, stats
+
+
+def _drain_serially(worker, make_task, queue, outcomes, policy,
+                    max_attempts) -> None:
+    """Finish the remaining cells in-process (graceful degradation)."""
+    remaining = sorted(queue)
+    queue.clear()
+    for index, first_attempt, _ in remaining:
+        outcome = outcomes[index]
+        for attempt in range(first_attempt, max_attempts):
+            try:
+                outcome.value = worker(make_task(index, attempt))
+            except Exception as exc:  # noqa: BLE001 - per-cell failure
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.attempts = attempt + 1
+                if attempt + 1 < max_attempts and policy.backoff_s:
+                    time.sleep(policy.backoff_s
+                               * policy.backoff_factor ** attempt)
+            else:
+                outcome.ok = True
+                outcome.attempts = attempt + 1
+                break

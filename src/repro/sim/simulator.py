@@ -255,6 +255,16 @@ class Simulator:
         budget = self.config.max_prefetches_per_access
         by_trigger: Dict[int, List[int]] = {}
         for pf in prefetches:
+            if pf.address < 0:
+                # A corrupt prefetch file (or a buggy prefetcher slipping
+                # past the guard) must degrade to a dropped prefetch, not
+                # crash the replay with a nonsense block index.
+                self._pf_dropped.inc()
+                if self._trace_events:
+                    self.obs.tracer.emit(
+                        "pf.dropped", block=pf.address,
+                        trigger=pf.trigger_instr_id, reason="invalid")
+                continue
             blocks = by_trigger.setdefault(pf.trigger_instr_id, [])
             if len(blocks) < budget:
                 blocks.append(pf.block)

@@ -29,6 +29,23 @@ from .neurons import INHIBITORY_LIF, AdaptiveLIFGroup, LIFConfig, LIFGroup
 from .stdp import STDPConfig
 from .synapses import Connection
 
+#: Healthy-run cadence of the weight-health scan (intervals).  Under an
+#: armed fault plan the scan runs every interval instead, so an injected
+#: NaN is repaired within the interval that produced it.
+HEALTH_CHECK_INTERVAL = 64
+
+_FAULTS = None
+
+
+def _resilience_faults():
+    """Late-bound ``repro.resilience.faults`` (breaks an import cycle:
+    resilience's guard wraps prefetchers, which build this network)."""
+    global _FAULTS
+    if _FAULTS is None:
+        from ..resilience import faults
+        _FAULTS = faults
+    return _FAULTS
+
 
 @dataclass(frozen=True)
 class NetworkConfig:
@@ -144,6 +161,11 @@ class DiehlCookNetwork:
         self.learning_enabled = True
         self.intervals_presented = 0
         self.fast = fast
+        # Weight-health bookkeeping: repaired neuron indices accumulate
+        # until the owner drains them (and resets dependent state, e.g.
+        # the prefetcher's inference-table labels for those neurons).
+        self.weight_repairs = 0
+        self._repaired_neurons: List[int] = []
         # Per-tick scratch for present(): excitatory→inhibitory drive
         # and the lateral-inhibition current (hoisted out of the loop).
         self._exc_drive_buf = np.empty(config.n_neurons, dtype=float)
@@ -191,6 +213,7 @@ class DiehlCookNetwork:
         if rates.shape != (self.config.n_input,):
             raise ConfigError(
                 f"rates shape {rates.shape} != ({self.config.n_input},)")
+        self._inject_weight_fault()
         do_learn = self.learning_enabled if learn is None else learn
         self.exc.adaptation_enabled = do_learn
 
@@ -243,6 +266,7 @@ class DiehlCookNetwork:
         if do_learn:
             self.input_to_exc.normalize()
         self.intervals_presented += 1
+        self._health_check()
 
         winner: Optional[int] = None
         next_best = float(np.max(self.exc.v)) if cfg.n_neurons else 0.0
@@ -355,6 +379,7 @@ class DiehlCookNetwork:
                 raise ConfigError(
                     f"rates shape {rates.shape} != ({self.config.n_input},)")
             active = np.flatnonzero(rates)
+        self._inject_weight_fault()
         do_learn = self.learning_enabled if learn is None else learn
         exc = self.exc
         w = self.input_to_exc.w
@@ -426,6 +451,7 @@ class DiehlCookNetwork:
             np.multiply(exc.theta, self._theta_interval_decay, out=exc.theta)
 
         self.intervals_presented += 1
+        self._health_check()
         counts = np.zeros(self.config.n_neurons, dtype=int)
         counts[winner] = 1
         potentials = exc.config.rest + scores
@@ -451,6 +477,7 @@ class DiehlCookNetwork:
         if rates.shape != (self.config.n_input,):
             raise ConfigError(
                 f"rates shape {rates.shape} != ({self.config.n_input},)")
+        self._inject_weight_fault()
         do_learn = self.learning_enabled if learn is None else learn
 
         scores = self.rank_one_tick_reference(rates)
@@ -477,6 +504,7 @@ class DiehlCookNetwork:
             self.exc.theta *= self.exc._theta_decay ** self.config.timesteps
 
         self.intervals_presented += 1
+        self._health_check()
         counts = np.zeros(self.config.n_neurons, dtype=int)
         counts[winner] = 1
         potentials = self.exc.config.rest + scores
@@ -495,3 +523,76 @@ class DiehlCookNetwork:
     def weights(self) -> np.ndarray:
         """The plastic input→excitatory weight matrix (n_input, n_neurons)."""
         return self.input_to_exc.w
+
+    # -- weight health (resilience) ------------------------------------------
+
+    def _inject_weight_fault(self) -> None:
+        """Fire the ``snn.weight_nan`` fault point, if armed: poison one
+        weight column with NaN at the start of an interval so the NaN
+        flows through a real query before the health check repairs it."""
+        faults = _resilience_faults()
+        if faults.ACTIVE is None:
+            return
+        site = faults.fires("snn.weight_nan")
+        if site is not None:
+            column = site._rng.randrange(self.config.n_neurons)
+            self.input_to_exc.w[:, column] = np.nan
+
+    def _health_check(self) -> None:
+        """Run :meth:`check_weight_health` on its due cadence."""
+        if (_resilience_faults().ACTIVE is not None
+                or self.intervals_presented % HEALTH_CHECK_INTERVAL == 0):
+            self.check_weight_health()
+
+    def check_weight_health(self) -> List[int]:
+        """Detect and repair neurons with non-finite weights or state.
+
+        A NaN/inf weight column can only lose every winner-take-all
+        comparison (IEEE comparisons with NaN are false; ``argsort``
+        ranks NaN scores last), so a poisoned neuron silently stops
+        contributing rather than corrupting predictions — but it would
+        stay dead forever and its STDP/normalisation updates would keep
+        producing NaN.  This check reinitialises such neurons from a
+        dedicated seeded RNG (never :attr:`rng` — the main stream must
+        stay bit-identical for healthy runs) and reports them so the
+        owner can reset dependent state (inference-table labels).
+
+        Returns:
+            Indices of the neurons repaired by this call.
+        """
+        finite = np.isfinite(self.input_to_exc.w).all(axis=0)
+        np.logical_and(finite, np.isfinite(self.exc.theta), out=finite)
+        np.logical_and(finite, np.isfinite(self.exc.v), out=finite)
+        if finite.all():
+            return []
+        repaired = [int(c) for c in np.flatnonzero(~finite)]
+        for column in repaired:
+            self._repair_neuron(column)
+        return repaired
+
+    def _repair_neuron(self, column: int) -> None:
+        cfg = self.config
+        # Keyed off (seed, column, repair count): deterministic across
+        # runs, distinct across successive repairs of the same neuron.
+        rng = np.random.default_rng(
+            (cfg.seed & 0x7FFFFFFF, 0x5EED, column, self.weight_repairs))
+        fresh = rng.random(cfg.n_input) * 0.3  # Connection's init_scale
+        if cfg.init_density < 1.0:
+            fresh *= rng.random(cfg.n_input) < cfg.init_density
+        stdp = self.input_to_exc.stdp
+        if stdp is not None and stdp.norm is not None:
+            total = float(fresh.sum()) or 1.0
+            fresh *= stdp.norm / total
+        self.input_to_exc.w[:, column] = fresh
+        self.exc.theta[column] = 0.0
+        self.exc.v[column] = self.exc.config.rest
+        self.weight_repairs += 1
+        self._repaired_neurons.append(column)
+
+    def drain_repaired_neurons(self) -> Tuple[int, ...]:
+        """Repairs since the last drain (empty almost always)."""
+        if not self._repaired_neurons:
+            return ()
+        repaired = tuple(self._repaired_neurons)
+        self._repaired_neurons.clear()
+        return repaired

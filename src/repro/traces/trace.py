@@ -15,7 +15,7 @@ import gzip
 from pathlib import Path
 from typing import Union
 
-from ..errors import TraceError
+from ..errors import TraceFormatError
 from ..types import MemoryAccess, Trace, validate_trace
 
 
@@ -44,7 +44,8 @@ def load_trace(path: Union[str, Path], name: str = "") -> Trace:
             the file stem.
 
     Raises:
-        TraceError: if any line is malformed or ids are not increasing.
+        TraceFormatError: if any line is malformed (carries the file
+            and line number) or ids are not increasing.
     """
     path = Path(path)
     accesses = []
@@ -60,17 +61,26 @@ def load_trace(path: Union[str, Path], name: str = "") -> Trace:
                 if body.startswith("trace:"):
                     file_name = body.split(":", 1)[1].strip()
                 elif body.startswith("total_instructions:"):
-                    total_instructions = int(body.split(":", 1)[1].strip())
+                    try:
+                        total_instructions = int(
+                            body.split(":", 1)[1].strip())
+                    except ValueError as exc:
+                        raise TraceFormatError(
+                            f"bad total_instructions header: {exc}",
+                            path=str(path), lineno=lineno) from exc
                 continue
             parts = [p.strip() for p in line.split(",")]
             if len(parts) != 3:
-                raise TraceError(f"{path}:{lineno}: expected 3 fields, got {len(parts)}")
+                raise TraceFormatError(
+                    f"expected 3 fields, got {len(parts)}",
+                    path=str(path), lineno=lineno)
             try:
                 instr_id = int(parts[0], 0)
                 pc = int(parts[1], 0)
                 address = int(parts[2], 0)
             except ValueError as exc:
-                raise TraceError(f"{path}:{lineno}: {exc}") from exc
+                raise TraceFormatError(str(exc), path=str(path),
+                                       lineno=lineno) from exc
             accesses.append(MemoryAccess(instr_id=instr_id, pc=pc, address=address))
     trace = Trace(name=name or file_name or path.stem, accesses=accesses,
                   total_instructions=total_instructions)

@@ -1,0 +1,183 @@
+"""Chaos suite: every injected fault must degrade gracefully — a run
+completes with the damage recorded in extras/stats, never an unhandled
+traceback — and with faults disabled or recovered-from, results stay
+bit-identical to a clean run."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import Evaluation
+from repro.obs import Observability
+from repro.resilience import (CheckpointJournal, FaultPlan, ResiliencePolicy,
+                              drain_stats, injected)
+from repro.resilience import faults
+
+CELLS = [("cc-5", "nextline"), ("cc-5", "spp")]
+N = 800
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    drain_stats()
+    yield
+    drain_stats()
+    faults.disarm()
+
+
+def _row_values(row):
+    return (row.workload, row.prefetcher, row.ipc, row.speedup,
+            row.accuracy, row.coverage, row.issued, row.useful,
+            row.baseline_misses)
+
+
+def _clean_rows():
+    return Evaluation(n_accesses=N).run_cells(CELLS, jobs=1)
+
+
+def test_worker_crash_recovers_with_retry():
+    policy = ResiliencePolicy(retries=1, backoff_s=0.01)
+    with injected(FaultPlan.parse("worker.crash:cells=0")):
+        rows = Evaluation(n_accesses=N).run_cells(CELLS, jobs=2,
+                                                  policy=policy)
+    stats = drain_stats()
+    assert stats.pool_respawns >= 1
+    assert all(r.extras["outcome"] in ("ok", "retried") for r in rows)
+    assert any(r.extras["outcome"] == "retried" for r in rows)
+    # The recovered grid is bit-identical to an unfaulted serial run.
+    assert [_row_values(r) for r in rows] == \
+           [_row_values(r) for r in _clean_rows()]
+
+
+def test_worker_hang_times_out_then_retry_succeeds():
+    policy = ResiliencePolicy(retries=1, backoff_s=0.01, cell_timeout_s=5.0)
+    with injected(FaultPlan.parse("worker.hang:cells=0,seconds=60")):
+        rows = Evaluation(n_accesses=N).run_cells(CELLS, jobs=2,
+                                                  policy=policy)
+    stats = drain_stats()
+    assert stats.timeouts >= 1
+    assert rows[0].extras["outcome"] == "retried"
+    assert all(r.extras["outcome"] != "failed" for r in rows)
+    assert [_row_values(r) for r in rows] == \
+           [_row_values(r) for r in _clean_rows()]
+
+
+def test_repeated_crashes_degrade_to_serial_fallback():
+    policy = ResiliencePolicy(retries=3, backoff_s=0.01, max_pool_respawns=1)
+    # attempts=99: the crash never stands down, so only the in-process
+    # serial fallback (where worker faults are inert) can finish.
+    with injected(FaultPlan.parse("worker.crash:attempts=99")):
+        rows = Evaluation(n_accesses=N).run_cells(CELLS, jobs=2,
+                                                  policy=policy)
+    stats = drain_stats()
+    assert stats.serial_fallback
+    assert stats.pool_respawns > policy.max_pool_respawns
+    assert all(r.extras["outcome"] != "failed" for r in rows)
+    assert [_row_values(r) for r in rows] == \
+           [_row_values(r) for r in _clean_rows()]
+
+
+def test_always_raising_prefetcher_quarantines_not_crashes():
+    with injected(FaultPlan.parse("prefetcher.access:rate=1.0")):
+        rows = Evaluation(n_accesses=N).run_cells([("cc-5", "nextline")])
+    row = rows[0]
+    assert row.extras["quarantined"] is True
+    assert row.extras["prefetcher_errors"] >= 1
+    assert row.issued == 0  # degraded to no-prefetch, not aborted
+    assert np.isfinite(row.ipc) and row.ipc > 0
+
+
+def test_snn_weight_nan_is_repaired_mid_run():
+    obs = Observability()
+    with injected(FaultPlan.parse("snn.weight_nan:after=5")):
+        rows = Evaluation(n_accesses=1200, obs=obs).run_cells(
+            [("cc-5", "pathfinder")])
+    row = rows[0]
+    assert np.isfinite(row.ipc) and row.ipc > 0
+    assert np.isfinite(row.accuracy) and np.isfinite(row.coverage)
+    counters = obs.registry.snapshot()["counters"]
+    repairs = sum(v for k, v in counters.items()
+                  if "snn.neuron_repairs" in k)
+    assert repairs >= 1
+
+
+def test_trace_corruption_is_survived():
+    with injected(FaultPlan.parse("trace.corrupt:frac=0.05", seed=2)):
+        rows = Evaluation(n_accesses=N).run_cells([("cc-5", "nextline")])
+    assert np.isfinite(rows[0].ipc) and rows[0].ipc > 0
+
+
+def test_supervised_serial_matches_unsupervised():
+    policy = ResiliencePolicy(retries=1, backoff_s=0.01)
+    supervised = Evaluation(n_accesses=N).run_cells(CELLS, jobs=1,
+                                                    policy=policy)
+    assert all(r.extras["outcome"] == "ok" for r in supervised)
+    assert [_row_values(r) for r in supervised] == \
+           [_row_values(r) for r in _clean_rows()]
+
+
+def test_checkpoint_resume_is_bit_identical(tmp_path):
+    path = tmp_path / "grid.ckpt"
+    # "Interrupted" run: only the first cell completes before the kill.
+    first = Evaluation(n_accesses=N).run_cells(CELLS[:1], checkpoint=path)
+    assert len(CheckpointJournal(path)) == 1
+    # Resume finishes the grid; the journaled cell is restored, not
+    # re-run, and the whole grid matches an uninterrupted run.
+    resumed = Evaluation(n_accesses=N).run_cells(CELLS, checkpoint=path)
+    fresh = Evaluation(n_accesses=N).run_cells(CELLS)
+    assert resumed[0] == first[0]  # full-dataclass bit-identity
+    assert [_row_values(r) for r in resumed] == \
+           [_row_values(r) for r in fresh]
+    assert len(CheckpointJournal(path)) == len(CELLS)
+    # A second resume restores everything without recomputing.
+    restored = Evaluation(n_accesses=N).run_cells(CELLS, checkpoint=path)
+    assert restored == resumed
+
+
+def test_checkpoint_skips_failed_cells_for_retry_on_resume(tmp_path):
+    path = tmp_path / "grid.ckpt"
+    policy = ResiliencePolicy(retries=0, backoff_s=0.0)
+    cells = [("cc-5", "nextline"), ("cc-5", "no-such-prefetcher")]
+    rows = Evaluation(n_accesses=600).run_cells(cells, jobs=2,
+                                                policy=policy,
+                                                checkpoint=path)
+    assert rows[1].extras["outcome"] == "failed"
+    # Only the successful cell is journaled: resume retries the failure.
+    assert len(CheckpointJournal(path)) == 1
+
+
+def test_cli_chaos_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "table6", "--loads", "600",
+                 "--workloads", "cc-5", "--jobs", "2", "--retries", "1",
+                 "--inject-faults", "worker.crash:cells=0"]) == 0
+    out = capsys.readouterr().out
+    assert "[resilience] cells:" in out
+    assert "Traceback" not in out
+
+
+def test_cli_resume_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    ckpt = tmp_path / "exp.ckpt"
+    argv = ["experiment", "table6", "--loads", "600", "--workloads",
+            "cc-5", "--resume", str(ckpt)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert ckpt.exists()
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "resuming from" in second
+    # The restored run reproduces the experiment output exactly.
+    strip = lambda text: [line for line in text.splitlines()
+                          if not line.startswith("[resilience]")]
+    assert strip(first) == strip(second)
+
+
+def test_cli_fault_point_listing(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "table6", "--inject-faults", "help"]) == 0
+    out = capsys.readouterr().out
+    for point in ("trace.corrupt", "worker.crash", "snn.weight_nan"):
+        assert point in out

@@ -1,0 +1,434 @@
+"""Unit tests for repro.resilience: faults, guard, atomic IO, checkpoint,
+supervisor, and the typed error hierarchy."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import (CheckpointError, ConfigError, PrefetchFileError,
+                          ReproError, TraceError, TraceFormatError,
+                          WorkerCrashError)
+from repro.harness.runner import EvalRow, Evaluation, make_prefetcher
+from repro.prefetchers.base import Prefetcher, generate_prefetches
+from repro.resilience import (CellOutcome, CheckpointJournal, FaultPlan,
+                              GuardedPrefetcher, ResiliencePolicy,
+                              SupervisorStats, atomic_write_json,
+                              atomic_write_text, cell_key, corrupt_trace,
+                              drain_stats, injected, note_stats, run_serial,
+                              run_supervised)
+from repro.resilience import faults
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import HierarchyConfig
+from repro.traces import load_trace, save_trace
+from repro.types import MemoryAccess
+
+from .helpers import build_trace, seq_addresses
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    """Ambient stats/fault state must never leak between tests."""
+    drain_stats()
+    yield
+    drain_stats()
+    faults.disarm()
+
+
+# -- fault plans --------------------------------------------------------------
+
+def test_fault_plan_parse_spec():
+    plan = FaultPlan.parse(
+        "worker.crash:cells=0+3;prefetcher.access:rate=0.25", seed=7)
+    crash = plan.points["worker.crash"]
+    assert crash.cells == (0, 3)
+    assert crash.attempts == 1  # first-attempt-only default
+    assert plan.points["prefetcher.access"].rate == 0.25
+    # The spec round-trips through its own grammar.
+    again = FaultPlan.parse(plan.spec(), seed=7)
+    assert set(again.points) == set(plan.points)
+    assert again.points["worker.crash"].cells == (0, 3)
+
+
+def test_fault_plan_rejects_unknown_point():
+    with pytest.raises(ConfigError, match="unknown fault point"):
+        FaultPlan.parse("flux.capacitor")
+
+
+def test_fault_plan_rejects_bad_specs():
+    with pytest.raises(ConfigError, match="empty fault spec"):
+        FaultPlan.parse(" ; ")
+    with pytest.raises(ConfigError, match="key=value"):
+        FaultPlan.parse("worker.crash:oops")
+    with pytest.raises(ConfigError, match="non-numeric"):
+        FaultPlan.parse("prefetcher.access:rate=sometimes")
+    with pytest.raises(ConfigError, match="rate must be"):
+        FaultPlan.parse("prefetcher.access:rate=1.5")
+
+
+def test_fault_point_is_deterministic():
+    draws = []
+    for _ in range(2):
+        plan = FaultPlan.parse("prefetcher.access:rate=0.5", seed=42)
+        point = plan.points["prefetcher.access"]
+        draws.append([point.fires() for _ in range(200)])
+    assert draws[0] == draws[1]
+    assert any(draws[0]) and not all(draws[0])
+
+
+def test_fault_point_attempt_and_count_gating():
+    plan = FaultPlan.parse("worker.crash")
+    point = plan.points["worker.crash"]
+    assert point.fires(attempt=0) is True
+    assert point.fires(attempt=1) is False  # stands down on the retry
+    plan = FaultPlan.parse("snn.weight_nan:after=2")
+    point = plan.points["snn.weight_nan"]
+    fired = [point.fires() for _ in range(6)]
+    # Silent for `after` calls, fires once (count=1 default), then quiet.
+    assert fired == [False, False, True, False, False, False]
+
+
+def test_fault_point_cell_scoping():
+    plan = FaultPlan.parse("worker.crash:cells=1")
+    point = plan.points["worker.crash"]
+    assert point.fires(attempt=0, index=0) is False
+    assert point.fires(attempt=0, index=1) is True
+
+
+def test_fault_plan_pickles():
+    plan = FaultPlan.parse("worker.hang:seconds=2;trace.corrupt:frac=0.1",
+                           seed=3)
+    clone = pickle.loads(pickle.dumps(plan))
+    assert set(clone.points) == set(plan.points)
+    assert clone.points["worker.hang"].seconds == 2.0
+    assert clone.points["trace.corrupt"].frac == 0.1
+
+
+def test_injected_context_arms_and_restores():
+    assert faults.active() is None
+    plan = FaultPlan.parse("trace.corrupt")
+    with injected(plan) as armed:
+        assert armed is plan
+        assert faults.active() is plan
+        with injected(None):
+            assert faults.active() is plan  # None is a no-op
+    assert faults.active() is None
+
+
+def test_corrupt_trace_scrambles_a_sample():
+    trace = build_trace(seq_addresses(200))
+    assert corrupt_trace(trace) is trace  # inert when disarmed
+    with injected(FaultPlan.parse("trace.corrupt:frac=0.1", seed=1)):
+        damaged = corrupt_trace(trace)
+    assert damaged is not trace
+    changed = sum(1 for a, b in zip(trace.accesses, damaged.accesses)
+                  if a.address != b.address)
+    assert changed == 20
+    assert all(b.address >= 0 for b in damaged.accesses)
+    assert [a.instr_id for a in trace.accesses] == \
+           [b.instr_id for b in damaged.accesses]
+
+
+# -- guarded prefetcher -------------------------------------------------------
+
+class _Flaky(Prefetcher):
+    """Raises on configured access ordinals; otherwise next-line."""
+
+    name = "flaky"
+
+    def __init__(self, fail_on=()):
+        self.fail_on = set(fail_on)
+        self.calls = 0
+
+    def process(self, access):
+        self.calls += 1
+        if self.calls in self.fail_on or "all" in self.fail_on:
+            raise RuntimeError(f"boom on call {self.calls}")
+        return [access.address + 64]
+
+    def reset(self):
+        self.calls = 0
+
+
+def test_guard_passes_healthy_prefetcher_through():
+    trace = build_trace(seq_addresses(64))
+    bare = generate_prefetches(make_prefetcher("spp"), trace, budget=2)
+    guarded = generate_prefetches(
+        GuardedPrefetcher(make_prefetcher("spp")), trace, budget=2)
+    assert bare == guarded
+
+
+def test_guard_quarantines_after_consecutive_failures():
+    guard = GuardedPrefetcher(_Flaky(fail_on={"all"}), quarantine_after=4)
+    access = MemoryAccess(instr_id=1, pc=0x400, address=1 << 20)
+    for _ in range(10):
+        assert guard.process(access) == []
+    assert guard.quarantined
+    assert guard.errors == 4  # short-circuits once quarantined
+    assert "boom" in guard.last_error
+
+
+def test_guard_resets_consecutive_count_on_success():
+    guard = GuardedPrefetcher(_Flaky(fail_on={2, 4, 6, 8, 10, 12}),
+                              quarantine_after=3)
+    access = MemoryAccess(instr_id=1, pc=0x400, address=1 << 20)
+    for _ in range(12):
+        guard.process(access)
+    assert not guard.quarantined
+    assert guard.errors == 6
+
+
+def test_guard_quarantines_on_train_failure():
+    class _BadTrainer(_Flaky):
+        def train(self, trace):
+            raise ValueError("bad corpus")
+
+    guard = GuardedPrefetcher(_BadTrainer())
+    guard.train(build_trace(seq_addresses(4)))
+    assert guard.quarantined
+    access = MemoryAccess(instr_id=1, pc=0x400, address=1 << 20)
+    assert guard.process(access) == []
+    guard.reset()
+    assert not guard.quarantined and guard.errors == 0
+
+
+# -- atomic writes ------------------------------------------------------------
+
+def test_atomic_write_text_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "hello\n")
+    assert target.read_text() == "hello\n"
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_atomic_write_json_round_trips(tmp_path):
+    target = tmp_path / "out.json"
+    payload = {"a": 1, "b": [1.5, "x"]}
+    atomic_write_json(target, payload)
+    assert json.loads(target.read_text()) == payload
+
+
+def test_atomic_write_preserves_old_content_on_failure(tmp_path):
+    target = tmp_path / "out.json"
+    atomic_write_json(target, {"ok": True})
+    with pytest.raises(TypeError):
+        atomic_write_json(target, {"bad": object()})
+    assert json.loads(target.read_text()) == {"ok": True}
+    assert list(tmp_path.iterdir()) == [target]
+
+
+# -- checkpoint journal -------------------------------------------------------
+
+def _sample_row(workload="cc-5", ipc=1.25):
+    result = SimResult(trace_name=workload, prefetcher_name="nextline",
+                       instructions=1000, cycles=800, pf_issued=10,
+                       pf_useful=7, llc_misses=3)
+    return EvalRow(workload=workload, prefetcher="nextline", ipc=ipc,
+                   speedup=1.1, accuracy=0.7, coverage=0.5, issued=10,
+                   useful=7, baseline_misses=6, result=result,
+                   timings={"replay_s": 0.125},
+                   extras={"outcome": "ok", "attempts": 1})
+
+
+def test_journal_records_and_restores_rows(tmp_path):
+    path = tmp_path / "grid.ckpt"
+    journal = CheckpointJournal(path)
+    row = _sample_row()
+    journal.record("cell-a", row)
+    assert "cell-a" in journal and len(journal) == 1
+    reloaded = CheckpointJournal(path)
+    assert reloaded.get("cell-a") == row  # bit-identical dataclass equality
+    assert reloaded.get("cell-b") is None
+
+
+def test_journal_tolerates_torn_trailing_line(tmp_path):
+    path = tmp_path / "grid.ckpt"
+    journal = CheckpointJournal(path)
+    journal.record("cell-a", _sample_row())
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind":"cell","key":"cell-b","row":{"trunc')
+    reloaded = CheckpointJournal(path)
+    assert len(reloaded) == 1 and "cell-b" not in reloaded
+
+
+def test_journal_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "grid.ckpt"
+    journal = CheckpointJournal(path)
+    journal.record("cell-a", _sample_row())
+    lines = path.read_text().splitlines()
+    lines.insert(1, "not json at all")
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError, match="corrupt journal line"):
+        CheckpointJournal(path)
+
+
+def test_journal_rejects_version_mismatch(tmp_path):
+    path = tmp_path / "grid.ckpt"
+    path.write_text('{"kind":"header","version":99}\n')
+    with pytest.raises(CheckpointError, match="version"):
+        CheckpointJournal(path)
+
+
+def test_cell_key_is_canonical_and_discriminating():
+    hierarchy = HierarchyConfig.scaled()
+    key = cell_key("cc-5", "nextline", seed=1, n_accesses=1000, budget=2,
+                   engine="fast", hierarchy=hierarchy)
+    assert key == cell_key("cc-5", "nextline", seed=1, n_accesses=1000,
+                           budget=2, engine="fast", hierarchy=hierarchy)
+    other_seed = cell_key("cc-5", "nextline", seed=2, n_accesses=1000,
+                          budget=2, engine="fast", hierarchy=hierarchy)
+    assert key != other_seed
+    payload = json.loads(key)
+    assert payload["workload"] == "cc-5" and payload["seed"] == 1
+
+
+# -- typed errors -------------------------------------------------------------
+
+def test_trace_loader_raises_trace_format_error(tmp_path):
+    path = tmp_path / "bad.trace"
+    save_trace(build_trace(seq_addresses(3)), path)
+    lines = path.read_text().splitlines()
+    lines[2] = "12 0x400 not-an-address"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_trace(path)
+    assert excinfo.value.path == str(path)
+    assert excinfo.value.lineno == 3
+    assert str(path) in str(excinfo.value)
+    # Compatibility: still a TraceError / ReproError.
+    assert isinstance(excinfo.value, TraceError)
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_generate_prefetches_wraps_failures_with_context():
+    trace = build_trace(seq_addresses(8))
+    with pytest.raises(PrefetchFileError) as excinfo:
+        generate_prefetches(_Flaky(fail_on={3}), trace, budget=2)
+    message = str(excinfo.value)
+    assert "flaky" in message and "instr_id=" in message
+    assert "boom on call 3" in message
+
+
+# -- supervisor ---------------------------------------------------------------
+
+def _flaky_cell(task):
+    """Module-level (picklable) worker: fails until the configured attempt."""
+    index, attempt, fail_below = task
+    if attempt < fail_below.get(index, 0):
+        raise RuntimeError(f"cell {index} attempt {attempt}")
+    return index * 10 + attempt
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        ResiliencePolicy(retries=-1)
+    with pytest.raises(ConfigError):
+        ResiliencePolicy(cell_timeout_s=0)
+    with pytest.raises(ConfigError):
+        ResiliencePolicy(backoff_factor=0.5)
+    with pytest.raises(ConfigError):
+        ResiliencePolicy(max_pool_respawns=-1)
+
+
+def test_cell_outcome_labels():
+    assert CellOutcome(0, ok=True, attempts=1).outcome == "ok"
+    assert CellOutcome(0, ok=True, attempts=2).outcome == "retried"
+    assert CellOutcome(0, ok=False, attempts=3).outcome == "failed"
+
+
+def test_run_serial_retries_until_success():
+    fail_below = {1: 2}  # cell 1 fails on attempts 0 and 1
+    policy = ResiliencePolicy(retries=2, backoff_s=0.0)
+    outcomes, stats = run_serial(
+        _flaky_cell, lambda i, a: (i, a, fail_below), 3, policy)
+    assert [o.ok for o in outcomes] == [True, True, True]
+    assert outcomes[1].attempts == 3 and outcomes[1].outcome == "retried"
+    assert "cell 1 attempt 1" in outcomes[1].error
+    assert stats.cells == {"ok": 2, "retried": 1}
+
+
+def test_run_serial_exhausts_retries():
+    fail_below = {0: 99}
+    policy = ResiliencePolicy(retries=1, backoff_s=0.0)
+    outcomes, stats = run_serial(
+        _flaky_cell, lambda i, a: (i, a, fail_below), 2, policy)
+    assert not outcomes[0].ok and outcomes[0].outcome == "failed"
+    assert outcomes[0].attempts == 2
+    assert outcomes[1].ok
+    assert stats.cells == {"ok": 1, "failed": 1}
+
+
+def test_run_supervised_retries_in_parallel():
+    fail_below = {2: 1}
+    policy = ResiliencePolicy(retries=1, backoff_s=0.01)
+    outcomes, stats = run_supervised(
+        _flaky_cell, lambda i, a: (i, a, fail_below), 4, jobs=2,
+        policy=policy)
+    assert [o.ok for o in outcomes] == [True] * 4
+    assert [o.value for o in outcomes] == [0, 10, 21, 30]
+    assert outcomes[2].outcome == "retried"
+    assert stats.cells == {"ok": 3, "retried": 1}
+    assert stats.pool_respawns == 0 and not stats.serial_fallback
+
+
+def test_run_supervised_marks_exhausted_cells_failed():
+    fail_below = {0: 99}
+    policy = ResiliencePolicy(retries=1, backoff_s=0.01)
+    outcomes, stats = run_supervised(
+        _flaky_cell, lambda i, a: (i, a, fail_below), 3, jobs=2,
+        policy=policy)
+    assert not outcomes[0].ok and outcomes[0].attempts == 2
+    assert outcomes[1].ok and outcomes[2].ok
+    assert stats.cells == {"ok": 2, "failed": 1}
+
+
+def test_stats_summary_and_drain():
+    stats = SupervisorStats(pool_respawns=1, timeouts=2,
+                            serial_fallback=True,
+                            cells={"ok": 3, "retried": 1})
+    text = stats.summary()
+    assert "3 ok, 1 retried, 0 failed" in text
+    assert "1 pool respawn(s)" in text and "serial fallback" in text
+    assert drain_stats() is None  # the autouse fixture drained already
+    note_stats(stats)
+    note_stats(SupervisorStats(cells={"ok": 2, "failed": 1}))
+    merged = drain_stats()
+    assert merged.cells == {"ok": 5, "retried": 1, "failed": 1}
+    assert merged.pool_respawns == 1 and merged.serial_fallback
+    assert drain_stats() is None  # drained
+
+
+# -- unsupervised parallel failure reporting ----------------------------------
+
+def test_unsupervised_parallel_keeps_sibling_work():
+    cells = [("cc-5", "nextline"), ("cc-5", "no-such-prefetcher")]
+    with pytest.raises(WorkerCrashError) as excinfo:
+        Evaluation(n_accesses=600).run_cells(cells, jobs=2)
+    err = excinfo.value
+    assert set(err.failures) == {1}
+    assert "unknown prefetcher" in err.failures[1]
+    # The sibling's finished row rides along instead of being discarded.
+    assert err.partial_rows[0] is not None
+    assert err.partial_rows[0].prefetcher == "nextline"
+    assert err.partial_rows[1] is None
+
+
+def test_supervised_degrade_emits_placeholder_row():
+    cells = [("cc-5", "nextline"), ("cc-5", "no-such-prefetcher")]
+    policy = ResiliencePolicy(retries=0, backoff_s=0.0)
+    rows = Evaluation(n_accesses=600).run_cells(cells, jobs=2, policy=policy)
+    drain_stats()
+    assert rows[0].extras["outcome"] == "ok"
+    assert rows[1].extras["outcome"] == "failed"
+    assert rows[1].ipc == 0.0 and "unknown prefetcher" in rows[1].extras["error"]
+
+
+def test_supervised_no_degrade_raises_with_partials():
+    cells = [("cc-5", "nextline"), ("cc-5", "no-such-prefetcher")]
+    policy = ResiliencePolicy(retries=0, backoff_s=0.0, degrade=False)
+    with pytest.raises(WorkerCrashError) as excinfo:
+        Evaluation(n_accesses=600).run_cells(cells, jobs=2, policy=policy)
+    drain_stats()
+    err = excinfo.value
+    assert set(err.failures) == {1}
+    assert err.partial_rows[0] is not None
