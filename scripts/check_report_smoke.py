@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI assertions for the observability-v2 report smoke.
+
+Two modes, matching the two CI invocations:
+
+  check_report_smoke.py --results-dir D --events E --metrics M --expect-cells N
+      The ledger in D, the event stream E, and the metrics snapshot M
+      must all come from one finished run: N cell records, events from
+      every cell tagged with the run id, and the run id echoed in the
+      metrics file.
+
+  check_report_smoke.py --html OUT.html
+      The dashboard must be non-trivial, well-formed HTML (stdlib
+      html.parser walk) and self-contained (no scripts, no external
+      fetches).
+"""
+
+import argparse
+import json
+import sys
+from html.parser import HTMLParser
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import read_events, read_ledger  # noqa: E402
+
+
+def fail(message):
+    print(f"FAIL: {message}")
+    raise SystemExit(1)
+
+
+def check_run(results_dir, events_path, metrics_path, expect_cells):
+    ledgers = sorted(Path(results_dir).glob("*.jsonl"))
+    if len(ledgers) != 1:
+        fail(f"expected exactly one ledger in {results_dir}, got {ledgers}")
+    parsed = read_ledger(ledgers[0])
+    if parsed["manifest"] is None:
+        fail("ledger has no manifest")
+    run_id = parsed["manifest"]["run_id"]
+    if parsed["finish"] is None or parsed["finish"]["status"] != "ok":
+        fail(f"run did not finish ok: {parsed['finish']}")
+    cells = parsed["cells"]
+    if len(cells) != expect_cells:
+        fail(f"expected {expect_cells} cell records, got {len(cells)}")
+
+    events = read_events(events_path)
+    tagged = [e for e in events if "cell" in e]
+    if not tagged:
+        fail("no cell-tagged events in the stream")
+    missing = {c["cell"] for c in cells} - {e["cell"] for e in tagged}
+    if missing:
+        fail(f"cells contributed no events: {sorted(missing)}")
+    wrong = [e for e in tagged if e.get("run_id") != run_id]
+    if wrong:
+        fail(f"{len(wrong)} tagged events missing run_id {run_id}")
+
+    metrics = json.loads(Path(metrics_path).read_text())
+    if metrics.get("run_id") != run_id:
+        fail(f"metrics run_id {metrics.get('run_id')!r} != {run_id!r}")
+    print(f"ok: run {run_id}: {len(cells)} cells, "
+          f"{len(tagged)}/{len(events)} tagged events, metrics linked")
+
+
+class _Auditor(HTMLParser):
+    VOID = {"meta", "br", "hr", "img", "input", "link"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.tags = 0
+
+    def handle_starttag(self, tag, attrs):
+        self.tags += 1
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if not self.stack or self.stack[-1] != tag:
+            fail(f"mismatched </{tag}> (open: {self.stack[-5:]})")
+        self.stack.pop()
+
+
+def check_html(path):
+    text = Path(path).read_text()
+    if not text.startswith("<!DOCTYPE html>"):
+        fail("missing doctype")
+    auditor = _Auditor()
+    auditor.feed(text)
+    auditor.close()
+    if auditor.stack:
+        fail(f"unclosed tags: {auditor.stack}")
+    if auditor.tags < 20:
+        fail(f"suspiciously small dashboard ({auditor.tags} tags)")
+    if "<script" in text:
+        fail("dashboard must not contain scripts")
+    if "http://" in text or "https://" in text:
+        fail("dashboard must not reference external resources")
+    print(f"ok: {path}: well-formed, {auditor.tags} tags, self-contained")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir")
+    parser.add_argument("--events")
+    parser.add_argument("--metrics")
+    parser.add_argument("--expect-cells", type=int, default=1)
+    parser.add_argument("--html")
+    args = parser.parse_args(argv)
+    if args.html:
+        check_html(args.html)
+    elif args.results_dir:
+        check_run(args.results_dir, args.events, args.metrics,
+                  args.expect_cells)
+    else:
+        parser.error("pass --html or --results-dir/--events/--metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,17 +36,35 @@ Four subcommands, installed as the ``repro`` console script::
         prefetcher at fixed seeds and write a schema-versioned JSON
         perf report (the repo tracks ``BENCH_perf.json`` at its root).
 
-    repro report <events.jsonl>
+    repro report [events.jsonl] [--ledger RUN.jsonl] [--metrics m.json]
+              [--html OUT.html]
         Aggregate a ``--events-out`` file into human-readable tables
-        (run summaries, prefetch lifecycle funnel, span timings).
+        (run summaries, prefetch lifecycle funnel, span timings), and/or
+        render a self-contained HTML dashboard from any combination of
+        events, run ledger, and metrics snapshot.
+
+    repro compare RUN_A RUN_B [--max-regress 0.25]
+        Diff two run artifacts (perf-bench reports or run ledgers):
+        per-cell metric deltas plus threshold-based regression flags.
+        Exits 1 when a timing regression exceeds the threshold.
+
+Every ``run``/``experiment``/``bench`` invocation also appends a run
+ledger — manifest (git SHA, config fingerprint, seeds, argv) plus
+per-cell provenance — under ``--results-dir`` (default ``results/``,
+overridable via the ``REPRO_RESULTS_DIR`` environment variable);
+``--no-ledger`` disables it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from typing import List, Optional
 
+from .errors import ConfigError
 from .harness import (
     EXPERIMENTS,
     Evaluation,
@@ -54,8 +72,20 @@ from .harness import (
     format_table,
     run_experiment,
     summarize_events,
+    write_dashboard,
 )
-from .obs import JsonlSink, Observability, Profiler, Tracer, read_events
+from .obs import (
+    JsonlSink,
+    Observability,
+    Profiler,
+    RunLedger,
+    Tracer,
+    finish_run,
+    read_events,
+    read_ledger,
+    set_default_observability,
+    start_run,
+)
 from .resilience import (
     FAULT_POINTS,
     FaultPlan,
@@ -114,9 +144,29 @@ def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
                          profiler=Profiler(capture_memory=peak_memory))
 
 
-def _write_metrics(obs: Observability, path: str) -> None:
-    atomic_write_json(path, obs.snapshot(), indent=2, default=float)
+def _write_metrics(obs: Observability, path: str,
+                   run_id: Optional[str] = None) -> None:
+    payload = obs.snapshot()
+    if run_id is not None:
+        payload["run_id"] = run_id
+    atomic_write_json(path, payload, indent=2, default=float)
     print(f"\n[metrics snapshot written to {path}]")
+
+
+def _start_ledger(args: argparse.Namespace, command: str, config: dict,
+                  seeds: Optional[List[int]] = None
+                  ) -> Optional[RunLedger]:
+    """Open this invocation's run ledger (best-effort; never fatal)."""
+    if getattr(args, "no_ledger", False):
+        return None
+    argv = getattr(args, "_argv", None) or []
+    try:
+        ledger = start_run(args.results_dir, command, argv, config,
+                           seeds=seeds)
+    except OSError as exc:
+        print(f"[ledger disabled: {exc}]")
+        return None
+    return ledger
 
 
 def _print_fault_points() -> None:
@@ -146,21 +196,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     plan = _fault_plan(args, seed=args.seed)
     obs = _make_obs(args)
+    config = {"workload": args.workload, "prefetcher": args.prefetcher,
+              "loads": args.loads, "seed": args.seed,
+              "budget": args.budget, "hierarchy": args.hierarchy,
+              "engine": args.engine}
+    ledger = _start_ledger(args, "run", config, seeds=[args.seed])
+    if obs is not None and ledger is not None:
+        obs.tracer.bind(run_id=ledger.run_id)
     evaluation = Evaluation(n_accesses=args.loads, seed=args.seed,
                             hierarchy=_select_hierarchy(args.hierarchy),
                             budget=args.budget, obs=obs,
                             engine=args.engine)
+    # Routed through run_cells so the cell lands in the run ledger and
+    # events carry the run-id/cell tags; the single-cell serial path is
+    # bit-identical to Evaluation.run.
+    cell = [(args.workload, args.prefetcher)]
+    start = time.perf_counter()
+    status = "ok"
     try:
         with injected(plan):
             if obs is not None and obs.profiler.capture_memory:
                 with obs.profiler.memory():
-                    row = evaluation.run(args.workload, args.prefetcher)
+                    row = evaluation.run_cells(cell)[0]
             else:
-                row = evaluation.run(args.workload, args.prefetcher)
+                row = evaluation.run_cells(cell)[0]
             baseline = evaluation.baseline(args.workload)
+    except BaseException:
+        status = "error"
+        raise
     finally:
         if obs is not None:
             obs.close()
+        if ledger is not None:
+            finish_run(ledger, time.perf_counter() - start, status=status)
     dropped = int(row.result.extra.get("pf_dropped", 0))
     rows = [
         ["baseline IPC", f"{baseline.ipc:.3f}"],
@@ -188,10 +256,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              f"({args.loads} loads, seed {args.seed}, "
                              f"budget {args.budget}, "
                              f"{args.hierarchy} hierarchy)"))
+    if ledger is not None:
+        print(f"\n[run ledger: {ledger.path}]")
     if args.events_out:
         print(f"\n[events written to {args.events_out}]")
     if obs is not None and args.metrics_out:
-        _write_metrics(obs, args.metrics_out)
+        _write_metrics(obs, args.metrics_out,
+                       run_id=ledger.run_id if ledger else None)
     return 0
 
 
@@ -231,9 +302,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
               f"{len(journal)} cell(s) journaled")
 
     obs = _make_obs(args)
+    config = {"experiment": args.experiment}
+    config.update({k: v for k, v in kwargs.items() if k != "jobs"})
+    config["jobs"] = args.jobs
+    ledger = _start_ledger(args, "experiment", config)
+    if obs is not None and ledger is not None:
+        obs.tracer.bind(run_id=ledger.run_id)
+    start = time.perf_counter()
+    status = "ok"
+    stats = None
     try:
         set_default_policy(policy)
         set_default_checkpoint(journal)
+        # Ambient bundle: experiments build their own Evaluation
+        # objects, which fall back to this installed one, so their grid
+        # cells record into this invocation's registry/tracer/ledger.
+        set_default_observability(obs)
         with injected(plan):
             if obs is not None:
                 try:
@@ -251,20 +335,30 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     obs.close()
             else:
                 result = run_experiment(args.experiment, **kwargs)
+    except BaseException:
+        status = "error"
+        raise
     finally:
         set_default_policy(None)
         set_default_checkpoint(None)
+        set_default_observability(None)
+        stats = drain_stats()
+        if ledger is not None:
+            finish_run(ledger, time.perf_counter() - start, status=status,
+                       resilience=stats.to_dict() if stats else None)
     print(result.format())
-    stats = drain_stats()
     if stats is not None:
         print(f"\n[resilience] {stats.summary()}")
     if args.json:
         result.save_json(args.json)
         print(f"\n[metrics written to {args.json}]")
+    if ledger is not None:
+        print(f"\n[run ledger: {ledger.path}]")
     if args.events_out:
         print(f"\n[events written to {args.events_out}]")
     if obs is not None and args.metrics_out:
-        _write_metrics(obs, args.metrics_out)
+        _write_metrics(obs, args.metrics_out,
+                       run_id=ledger.run_id if ledger else None)
     return 0
 
 
@@ -284,9 +378,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     loads = args.loads
     if loads is None:
         loads = SMALL_N_ACCESSES if args.small else 20_000
-    report = run_bench(prefetchers=prefetchers, workload=args.workload,
-                       n_accesses=loads, seed=args.seed,
-                       budget=args.budget, repeats=args.repeats)
+    config = {"workload": args.workload, "prefetchers": list(prefetchers),
+              "loads": loads, "seed": args.seed, "budget": args.budget,
+              "repeats": args.repeats}
+    ledger = _start_ledger(args, "bench", config, seeds=[args.seed])
+    start = time.perf_counter()
+    status = "ok"
+    report = None
+    try:
+        report = run_bench(prefetchers=prefetchers, workload=args.workload,
+                           n_accesses=loads, seed=args.seed,
+                           budget=args.budget, repeats=args.repeats)
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        if ledger is not None:
+            if report is not None:
+                for name, cell in report["prefetchers"].items():
+                    key = f"bench:{args.workload}:{name}:{args.seed}"
+                    ledger.record_cell(
+                        cell=key, key=key, seed=args.seed,
+                        workload=args.workload, prefetcher=name,
+                        metrics={k: cell[k] for k in
+                                 ("speedup", "accuracy", "coverage",
+                                  "issued", "replay_speedup")},
+                        timings={k: cell[k] for k in
+                                 ("prefetch_file_s", "replay_s",
+                                  "replay_reference_s")})
+            finish_run(ledger, time.perf_counter() - start, status=status)
     rows = [["trace_gen", "-", f"{report['trace_gen_s']:.3f}s"],
             ["baseline_replay (fast)", "-",
              f"{report['baseline_replay_s']:.3f}s"],
@@ -305,22 +425,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"loads, seed {report['seed']}"))
     save_bench(report, args.out)
     print(f"\n[perf report written to {args.out}]")
+    if ledger is not None:
+        print(f"[run ledger: {ledger.path}]")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    events = ledger = metrics = None
     try:
-        events = read_events(args.events)
+        if args.events:
+            events = read_events(args.events)
+            if not events:
+                print(f"{args.events}: no events")
+                return 2
+        if args.ledger:
+            ledger = read_ledger(args.ledger)
+        if args.metrics:
+            metrics = json.loads(open(args.metrics, encoding="utf-8").read())
     except (OSError, ValueError) as exc:
         print(f"error: {exc}")
         return 2
-    if not events:
-        print(f"{args.events}: no events")
+    if events is None and ledger is None and metrics is None:
+        print("error: nothing to report "
+              "(pass an events file and/or --ledger/--metrics)")
         return 2
-    blocks = [format_table(headers, rows, title=title)
-              for title, headers, rows in summarize_events(events)]
-    print("\n\n".join(blocks))
+    if args.html:
+        run_id = (ledger.get("manifest") or {}).get("run_id") if ledger \
+            else None
+        title = (f"repro run {run_id}" if run_id else "repro run dashboard")
+        write_dashboard(args.html, ledger=ledger, events=events,
+                        metrics=metrics, title=title)
+        print(f"[dashboard written to {args.html}]")
+    if events is not None:
+        blocks = [format_table(headers, rows, title=title)
+                  for title, headers, rows in summarize_events(events)]
+        print("\n\n".join(blocks))
     return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .harness import compare_artifacts
+
+    try:
+        result = compare_artifacts(args.run_a, args.run_b,
+                                   max_regress=args.max_regress)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(result.format())
+    return 0 if result.ok else 1
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -328,6 +481,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="stream structured JSONL events to FILE")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write a JSON metrics/profile snapshot to FILE")
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--results-dir", metavar="DIR",
+        default=os.environ.get("REPRO_RESULTS_DIR", "results"),
+        help="directory for run-ledger JSONL files (default 'results', "
+             "or the REPRO_RESULTS_DIR environment variable)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="skip writing the run ledger")
 
 
 def _add_fault_flag(parser: argparse.ArgumentParser) -> None:
@@ -371,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--peak-memory", action="store_true",
                        help="capture tracemalloc peak memory for the run")
     _add_obs_flags(p_run)
+    _add_ledger_flags(p_run)
     _add_fault_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -395,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint journal: completed cells are "
                             "restored bit-identically, new ones appended")
     _add_obs_flags(p_exp)
+    _add_ledger_flags(p_exp)
     _add_fault_flag(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
@@ -416,12 +581,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--budget", type=int, default=2)
     p_bench.add_argument("--repeats", type=int, default=1,
                          help="timing repeats; phases report the minimum")
+    _add_ledger_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
-    p_rep = sub.add_parser("report",
-                           help="summarize an --events-out JSONL file")
-    p_rep.add_argument("events", help="path to an events.jsonl file")
+    p_rep = sub.add_parser(
+        "report", help="summarize run artifacts (tables and/or HTML)")
+    p_rep.add_argument("events", nargs="?", default=None,
+                       help="path to an --events-out JSONL file")
+    p_rep.add_argument("--ledger", metavar="RUN.jsonl",
+                       help="run-ledger file to include in the report")
+    p_rep.add_argument("--metrics", metavar="FILE",
+                       help="--metrics-out snapshot to include")
+    p_rep.add_argument("--html", metavar="OUT.html",
+                       help="write a self-contained HTML dashboard")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two run artifacts (bench reports or ledgers)")
+    p_cmp.add_argument("run_a", help="baseline artifact (A)")
+    p_cmp.add_argument("run_b", help="candidate artifact (B)")
+    p_cmp.add_argument("--max-regress", type=float, default=0.25,
+                       help="fractional timing-regression threshold "
+                            "(default 0.25 = +25%%)")
+    p_cmp.set_defaults(func=_cmd_compare)
     return parser
 
 
@@ -429,6 +611,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The raw argv lands in the run-ledger manifest for provenance.
+    args._argv = list(argv) if argv is not None else list(sys.argv[1:])
     return args.func(args)
 
 

@@ -5,8 +5,14 @@
 - :mod:`repro.harness.reporting` — ASCII tables and summary statistics.
 - :mod:`repro.harness.experiments` — one entry per table/figure in the
   paper's evaluation; each regenerates the corresponding rows/series.
+- :mod:`repro.harness.dashboard` — self-contained HTML report (stdlib
+  templating + inline SVG) over the run ledger/events/metrics.
+- :mod:`repro.harness.compare` — diff two run artifacts (bench reports
+  or ledgers) with regression flags.
 """
 
+from .compare import CompareResult, compare_artifacts, load_artifact
+from .dashboard import render_dashboard, write_dashboard
 from .runner import (
     PREFETCHER_FACTORIES,
     EvalRow,
@@ -29,6 +35,11 @@ from .perfbench import (
 )
 
 __all__ = [
+    "CompareResult",
+    "compare_artifacts",
+    "load_artifact",
+    "render_dashboard",
+    "write_dashboard",
     "DEFAULT_PREFETCHERS",
     "SCHEMA_VERSION",
     "load_bench",

@@ -1,0 +1,193 @@
+"""``repro compare RUN_A RUN_B``: diff two run artifacts.
+
+Accepts either kind of artifact the harness writes — a perf-bench JSON
+report (``repro bench --out``) or a run ledger JSONL (``repro run`` /
+``experiment`` / ``bench`` under ``--results-dir``) — auto-detected by
+content, and produces per-cell metric deltas plus regression flags.
+
+Timing regressions reuse the exact perfbench gate rule
+(:func:`repro.harness.perfbench.timing_regression`): a timing regresses
+when it exceeds the baseline's by more than ``max_regress`` (default
++25%).  Rate metrics (accuracy/coverage/speedup) are reported as deltas
+and flagged as anomalies when they worsen by more than
+``max_metric_drop`` (absolute), since a correctness-shaped drift
+deserves eyes even if no wall-clock moved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from .perfbench import compare_bench, timing_regression, validate_bench
+from .reporting import format_table
+
+#: Per-cell rate metrics diffed between two ledgers, and the timing
+#: keys checked with the perfbench regression rule.
+LEDGER_RATE_METRICS = ("speedup", "accuracy", "coverage")
+LEDGER_TIMING_KEYS = ("prefetch_file_s", "replay_s")
+
+
+@dataclass
+class CompareResult:
+    """The outcome of one artifact comparison."""
+
+    kind: str  # "bench" or "ledger"
+    #: (label, metric, value_a, value_b, delta) per compared number.
+    deltas: List[Tuple[str, str, float, float, float]] = field(
+        default_factory=list)
+    #: Timing regressions per the perfbench gate rule (fail CI).
+    regressions: List[str] = field(default_factory=list)
+    #: Non-timing drifts worth eyes (don't fail, do surface).
+    anomalies: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        """Printable report: delta table, then flags."""
+        lines: List[str] = []
+        if self.deltas:
+            rows = [[label, metric, a, b, delta]
+                    for label, metric, a, b, delta in self.deltas]
+            lines.append(format_table(
+                ["cell", "metric", "A", "B", "delta"], rows,
+                title=f"Comparison ({self.kind})"))
+        for message in self.anomalies:
+            lines.append(f"ANOMALY: {message}")
+        for message in self.regressions:
+            lines.append(f"REGRESSION: {message}")
+        if not self.regressions:
+            lines.append("No timing regressions.")
+        return "\n".join(lines)
+
+
+def load_artifact(path) -> Tuple[str, Dict]:
+    """Load a run artifact, auto-detecting its kind by content.
+
+    Returns ``("bench", report)`` for a perf-bench JSON report or
+    ``("ledger", parsed)`` for a run-ledger JSONL (the
+    :func:`repro.obs.read_ledger` dict).  Raises
+    :class:`~repro.errors.ConfigError` for anything else.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read artifact {path}: {exc}") from exc
+    # A bench report is one pretty-printed JSON object; a ledger is
+    # JSONL.  Try the whole file as one object first — a one-record
+    # ledger also parses that way, so dispatch on the marker keys.
+    try:
+        report = json.loads(text)
+    except ValueError:
+        report = None
+    if (isinstance(report, dict) and "prefetchers" in report
+            and "schema_version" in report):
+        validate_bench(report)
+        return "bench", report
+    from ..obs.ledger import read_ledger
+
+    parsed = read_ledger(path)
+    if parsed["manifest"] is None and not parsed["cells"]:
+        raise ConfigError(
+            f"{path}: neither a perf-bench report nor a run ledger")
+    return "ledger", parsed
+
+
+def _cell_index(parsed: Dict) -> Dict[str, Dict]:
+    """Ledger cells keyed by their canonical cell key (last write wins,
+    so a retried/restored cell compares by its final record)."""
+    return {str(cell.get("key", cell.get("cell", "?"))): cell
+            for cell in parsed.get("cells", [])}
+
+
+def compare_ledgers(a: Dict, b: Dict, max_regress: float = 0.25,
+                    max_metric_drop: float = 0.05) -> CompareResult:
+    """Diff two parsed ledgers cell-by-cell.
+
+    Cells are matched on their canonical key (workload, spec, seed,
+    engine, hierarchy), so only like-for-like cells compare; cells
+    present in only one run are reported as anomalies.
+    """
+    result = CompareResult(kind="ledger")
+    cells_a, cells_b = _cell_index(a), _cell_index(b)
+    for key in sorted(set(cells_a) | set(cells_b)):
+        cell_a, cell_b = cells_a.get(key), cells_b.get(key)
+        if cell_a is None or cell_b is None:
+            which = "B" if cell_a is None else "A"
+            missing = (cell_b or cell_a).get("cell", key)
+            result.anomalies.append(
+                f"cell {missing} only present in run {which}")
+            continue
+        label = str(cell_b.get("cell", key))
+        metrics_a = cell_a.get("metrics") or {}
+        metrics_b = cell_b.get("metrics") or {}
+        for metric in LEDGER_RATE_METRICS:
+            va = float(metrics_a.get(metric, 0.0))
+            vb = float(metrics_b.get(metric, 0.0))
+            result.deltas.append((label, metric, va, vb, vb - va))
+            if va - vb > max_metric_drop:
+                result.anomalies.append(
+                    f"{label}.{metric}: {vb:.4f} vs {va:.4f} "
+                    f"(dropped {va - vb:.4f}, limit {max_metric_drop})")
+        timings_a = cell_a.get("timings") or {}
+        timings_b = cell_b.get("timings") or {}
+        for timing in LEDGER_TIMING_KEYS:
+            old = float(timings_a.get(timing, 0.0))
+            new = float(timings_b.get(timing, 0.0))
+            result.deltas.append((label, timing, old, new, new - old))
+            message = timing_regression(f"{label}.{timing}", new, old,
+                                        max_regress)
+            if message is not None:
+                result.regressions.append(message)
+        if cell_b.get("outcome") != cell_a.get("outcome"):
+            result.anomalies.append(
+                f"{label}.outcome: {cell_b.get('outcome')!r} vs "
+                f"{cell_a.get('outcome')!r}")
+    return result
+
+
+def compare_bench_reports(a: Dict, b: Dict,
+                          max_regress: float = 0.25) -> CompareResult:
+    """Diff two perf-bench reports with the existing CI gate rule."""
+    result = CompareResult(kind="bench")
+    result.regressions = list(compare_bench(b, a, max_regress=max_regress))
+    cells_a = a.get("prefetchers", {})
+    for name, cell_b in b.get("prefetchers", {}).items():
+        cell_a = cells_a.get(name)
+        if cell_a is None:
+            result.anomalies.append(f"prefetcher {name} only in run B")
+            continue
+        for metric in ("replay_s", "prefetch_file_s", "speedup",
+                       "accuracy", "coverage"):
+            va = float(cell_a.get(metric, 0.0))
+            vb = float(cell_b.get(metric, 0.0))
+            result.deltas.append((name, metric, va, vb, vb - va))
+    for name in cells_a:
+        if name not in b.get("prefetchers", {}):
+            result.anomalies.append(f"prefetcher {name} only in run A")
+    return result
+
+
+def compare_artifacts(path_a, path_b, max_regress: float = 0.25,
+                      max_metric_drop: float = 0.05) -> CompareResult:
+    """Load and diff two artifacts (``repro compare``'s engine).
+
+    Both must be the same kind; comparing a bench report against a
+    ledger raises :class:`~repro.errors.ConfigError`.
+    """
+    kind_a, a = load_artifact(path_a)
+    kind_b, b = load_artifact(path_b)
+    if kind_a != kind_b:
+        raise ConfigError(
+            f"cannot compare a {kind_a} artifact against a {kind_b} one "
+            f"({path_a} vs {path_b})")
+    if kind_a == "bench":
+        return compare_bench_reports(a, b, max_regress=max_regress)
+    return compare_ledgers(a, b, max_regress=max_regress,
+                           max_metric_drop=max_metric_drop)

@@ -1,0 +1,307 @@
+"""Self-contained HTML dashboard for one run (zero dependencies).
+
+``repro report --html OUT.html`` renders everything a reviewer needs to
+assess a run into one file: stdlib string templating plus inline SVG
+for the charts, so the artifact opens anywhere — CI artifact viewers,
+air-gapped machines — without a JS toolchain or network access.
+
+Inputs are the artifacts the CLI already writes, all optional (the
+dashboard renders whichever sections have data):
+
+- a run ledger parsed by :func:`repro.obs.read_ledger` — manifest
+  provenance, per-cell metric/outcome tables, resilience summary;
+- an events list from :func:`repro.obs.read_events` — the prefetch
+  lifecycle funnel and span timings, via the same
+  :mod:`repro.harness.reporting` helpers the ASCII report uses;
+- a ``--metrics-out`` snapshot dict — phase-timing and DRAM queue-wait
+  histograms.
+"""
+
+from __future__ import annotations
+
+import html
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .reporting import lifecycle_counts, span_totals
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4361ee; padding-bottom: 0.2em; }
+h2 { color: #3a0ca3; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #cbd5e1; padding: 0.3em 0.7em;
+         text-align: right; }
+th { background: #eef2ff; }
+td:first-child, th:first-child { text-align: left; }
+.bad { background: #fee2e2; }
+.ok { background: #dcfce7; }
+dl.manifest { display: grid; grid-template-columns: max-content auto;
+              gap: 0.2em 1em; }
+dl.manifest dt { font-weight: 600; }
+dl.manifest dd { margin: 0; font-family: monospace; }
+svg text { font-family: system-ui, sans-serif; }
+""".strip()
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+           row_classes: Optional[Sequence[str]] = None) -> str:
+    parts = ["<table>", "<tr>"]
+    parts.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    parts.append("</tr>")
+    for index, row in enumerate(rows):
+        css = (row_classes[index] if row_classes
+               and index < len(row_classes) else "")
+        parts.append(f'<tr class="{_esc(css)}">' if css else "<tr>")
+        parts.extend(f"<td>{_esc(_fmt(cell))}</td>" for cell in row)
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _bar_svg(pairs: Sequence[Tuple[str, float]], unit: str = "",
+             width: int = 640) -> str:
+    """A horizontal inline-SVG bar chart (no JS, no external assets)."""
+    if not pairs:
+        return "<p>(no data)</p>"
+    peak = max(value for _, value in pairs) or 1.0
+    bar_h, gap, label_w = 18, 6, 220
+    height = len(pairs) * (bar_h + gap) + gap
+    parts = [f'<svg width="{width}" height="{height}" role="img">']
+    for i, (label, value) in enumerate(pairs):
+        y = gap + i * (bar_h + gap)
+        bar = max(1.0, (width - label_w - 90) * value / peak)
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + bar_h - 4}" '
+            f'text-anchor="end" font-size="12">{_esc(label)}</text>')
+        parts.append(
+            f'<rect x="{label_w}" y="{y}" width="{bar:.1f}" '
+            f'height="{bar_h}" fill="#4361ee"></rect>')
+        parts.append(
+            f'<text x="{label_w + bar + 6:.1f}" y="{y + bar_h - 4}" '
+            f'font-size="12">{_esc(_fmt(value))}{_esc(unit)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _manifest_section(manifest: Dict) -> str:
+    git = manifest.get("git") or {}
+    sha = git.get("sha") or "unknown"
+    dirty = git.get("dirty")
+    git_label = sha if not isinstance(sha, str) else sha[:12]
+    if dirty:
+        git_label = f"{git_label} (dirty)"
+    fields = [
+        ("run id", manifest.get("run_id", "?")),
+        ("command", manifest.get("command", "?")),
+        ("started (UTC)", manifest.get("timestamp_utc", "?")),
+        ("git", git_label),
+        ("config fingerprint", manifest.get("config_fingerprint", "?")),
+        ("seeds", manifest.get("seeds")),
+        ("argv", " ".join(map(str, manifest.get("argv") or []))),
+        ("python", manifest.get("python", "?")),
+        ("platform", manifest.get("platform", "?")),
+    ]
+    items = "".join(f"<dt>{_esc(k)}</dt><dd>{_esc(v)}</dd>"
+                    for k, v in fields if v is not None)
+    return f'<h2>Run manifest</h2><dl class="manifest">{items}</dl>'
+
+
+def _cells_section(cells: List[Dict]) -> str:
+    headers = ["cell", "workload", "prefetcher", "speedup", "accuracy",
+               "coverage", "issued", "useful", "late", "outcome",
+               "attempts", "restored"]
+    rows, classes = [], []
+    for cell in cells:
+        metrics = cell.get("metrics") or {}
+        outcome = cell.get("outcome", "ok")
+        rows.append([
+            cell.get("cell", "?"), cell.get("workload", "?"),
+            cell.get("prefetcher", "?"), metrics.get("speedup", 0.0),
+            metrics.get("accuracy", 0.0), metrics.get("coverage", 0.0),
+            metrics.get("issued", 0), metrics.get("useful", 0),
+            metrics.get("late", 0), outcome, cell.get("attempts", 1),
+            "yes" if cell.get("restored") else ""])
+        classes.append("bad" if outcome == "failed" else "")
+    return ("<h2>Grid cells</h2>"
+            + _table(headers, rows, row_classes=classes))
+
+
+def _prefetcher_section(cells: List[Dict]) -> str:
+    """Mean coverage/accuracy/timeliness per prefetcher across cells.
+
+    Timeliness is the on-time fraction of useful prefetches:
+    ``1 - late / useful`` (``pf_useful`` already counts late fills).
+    """
+    grouped: Dict[str, List[Dict]] = defaultdict(list)
+    for cell in cells:
+        grouped[str(cell.get("prefetcher", "?"))].append(
+            cell.get("metrics") or {})
+    rows = []
+    for name in sorted(grouped):
+        metrics = grouped[name]
+        n = len(metrics)
+        useful = sum(m.get("useful", 0) for m in metrics)
+        late = sum(m.get("late", 0) for m in metrics)
+        rows.append([
+            name, n,
+            sum(m.get("accuracy", 0.0) for m in metrics) / n,
+            sum(m.get("coverage", 0.0) for m in metrics) / n,
+            (1.0 - late / useful) if useful else 0.0,
+            sum(m.get("issued", 0) for m in metrics),
+        ])
+    return ("<h2>Per-prefetcher summary</h2>"
+            + _table(["prefetcher", "cells", "mean accuracy",
+                      "mean coverage", "timeliness", "issued"], rows))
+
+
+def _funnel_section(events: List[Dict]) -> str:
+    funnel = lifecycle_counts(events)
+    if not any(funnel.values()):
+        return ""
+    pairs = [(name, float(count)) for name, count in funnel.items()]
+    return ("<h2>Prefetch lifecycle funnel</h2>"
+            + _bar_svg(pairs)
+            + _table(["stage", "events"], funnel.items()))
+
+
+def _spans_section(events: List[Dict]) -> str:
+    spans = span_totals(events)
+    if not spans:
+        return ""
+    pairs = [(name, stat["total_s"]) for name, stat in spans.items()]
+    rows = [[name, stat["calls"], stat["total_s"], stat["max_s"]]
+            for name, stat in spans.items()]
+    return ("<h2>Span timings</h2>" + _bar_svg(pairs, unit="s")
+            + _table(["span", "calls", "total s", "max s"], rows))
+
+
+def _histogram_sections(metrics: Dict) -> str:
+    histograms = (metrics.get("metrics", metrics) or {}).get(
+        "histograms") or {}
+    parts = []
+    for key in sorted(histograms):
+        snap = histograms[key]
+        buckets = snap.get("buckets") or {}
+        pairs = [(bound, float(count)) for bound, count in buckets.items()
+                 if count]
+        if not pairs:
+            continue
+        parts.append(f"<h2>Histogram: {_esc(key)}</h2>")
+        parts.append(
+            f"<p>count={_fmt(snap.get('count', 0))} "
+            f"mean={_fmt(snap.get('mean', 0.0))} "
+            f"p50={_fmt(snap.get('p50', 0.0))} "
+            f"p99={_fmt(snap.get('p99', 0.0))} "
+            f"max={_fmt(snap.get('max', 0.0))}</p>")
+        parts.append(_bar_svg(pairs))
+    return "".join(parts)
+
+
+def _flatten_profile(node: Dict, prefix: str = ""
+                     ) -> List[Tuple[str, float, int]]:
+    """``(dotted.path, wall_s, calls)`` rows from a profile-report tree."""
+    flat: List[Tuple[str, float, int]] = []
+    for child in node.get("children") or []:
+        path = f"{prefix}{child.get('name', '?')}"
+        flat.append((path, float(child.get("wall_s", 0.0)),
+                     int(child.get("calls", 0))))
+        flat.extend(_flatten_profile(child, path + "."))
+    return flat
+
+
+def _profile_section(metrics: Dict) -> str:
+    profile = metrics.get("profile")
+    if not isinstance(profile, dict):
+        return ""
+    phases = _flatten_profile(profile)
+    if not phases:
+        return ""
+    pairs = [(path, wall_s) for path, wall_s, _ in phases]
+    rows = [[path, calls, wall_s] for path, wall_s, calls in phases]
+    return ("<h2>Phase timings</h2>" + _bar_svg(pairs, unit="s")
+            + _table(["phase", "calls", "wall s"], rows))
+
+
+def _finish_section(finish: Optional[Dict]) -> str:
+    if finish is None:
+        return ('<h2>Run status</h2><p class="bad">No finish record — '
+                "this run crashed or was interrupted.</p>")
+    parts = [f"<h2>Run status</h2><p>status={_esc(finish.get('status'))} "
+             f"wall={_fmt(finish.get('wall_s', 0.0))}s</p>"]
+    resilience = finish.get("resilience")
+    if resilience:
+        cells = resilience.get("cells") or {}
+        rows = [[label, count] for label, count in sorted(cells.items())]
+        rows.append(["pool respawns", resilience.get("pool_respawns", 0)])
+        rows.append(["timeouts", resilience.get("timeouts", 0)])
+        rows.append(["serial fallback",
+                     str(bool(resilience.get("serial_fallback")))])
+        parts.append("<h3>Resilience</h3>"
+                     + _table(["event", "count"], rows))
+    return "".join(parts)
+
+
+def render_dashboard(ledger: Optional[Dict] = None,
+                     events: Optional[List[Dict]] = None,
+                     metrics: Optional[Dict] = None,
+                     title: str = "repro run dashboard") -> str:
+    """Render the artifacts of one run as a single HTML document.
+
+    Any subset of inputs may be ``None``; the corresponding sections
+    are simply omitted.  The output embeds its own CSS and SVG — no
+    scripts, no external fetches.
+    """
+    sections: List[str] = []
+    if ledger:
+        manifest = ledger.get("manifest")
+        if manifest:
+            sections.append(_manifest_section(manifest))
+        cells = ledger.get("cells") or []
+        if cells:
+            sections.append(_prefetcher_section(cells))
+            sections.append(_cells_section(cells))
+        experiments = ledger.get("experiments") or []
+        if experiments:
+            rows = [[e.get("experiment_id", "?"), e.get("title", ""),
+                     len(e.get("metrics") or {})] for e in experiments]
+            sections.append("<h2>Experiments</h2>" + _table(
+                ["experiment", "title", "#metrics"], rows))
+        sections.append(_finish_section(ledger.get("finish")))
+    if events:
+        sections.append(_funnel_section(events))
+        sections.append(_spans_section(events))
+    if metrics:
+        sections.append(_profile_section(metrics))
+        sections.append(_histogram_sections(metrics))
+    if not any(sections):
+        sections.append("<p>(no artifacts supplied)</p>")
+    body = "\n".join(part for part in sections if part)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style></head>\n"
+        f"<body><h1>{_esc(title)}</h1>\n{body}\n</body></html>\n")
+
+
+def write_dashboard(path, ledger: Optional[Dict] = None,
+                    events: Optional[List[Dict]] = None,
+                    metrics: Optional[Dict] = None,
+                    title: str = "repro run dashboard") -> None:
+    """Render and atomically write the dashboard to ``path``."""
+    from ..resilience.atomic import atomic_write_text
+
+    atomic_write_text(path, render_dashboard(
+        ledger=ledger, events=events, metrics=metrics, title=title))

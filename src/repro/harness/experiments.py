@@ -719,8 +719,14 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run a registered experiment by id (see :data:`EXPERIMENTS`)."""
+    """Run a registered experiment by id (see :data:`EXPERIMENTS`).
+
+    When a run ledger is ambient (CLI invocations), the experiment's
+    summary metrics are appended as one ``experiment`` record, so a
+    ledger alone reconstructs which figures/tables a run produced.
+    """
     from ..errors import ConfigError
+    from ..obs.ledger import active_ledger
 
     try:
         fn = EXPERIMENTS[experiment_id]
@@ -728,4 +734,13 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; known: {known}") from None
-    return fn(**kwargs)
+    result = fn(**kwargs)
+    ledger = active_ledger()
+    if ledger is not None:
+        ledger.append({
+            "kind": "experiment",
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "metrics": dict(result.metrics),
+        })
+    return result

@@ -32,7 +32,7 @@ import json
 import platform
 import time
 from pathlib import Path
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -209,13 +209,29 @@ def validate_bench(report: Dict) -> None:
                     f"perf report entry {name!r} missing {key!r}")
 
 
+def timing_regression(label: str, new: float, old: float,
+                      max_regress: float = 0.25) -> Optional[str]:
+    """The single timing-regression rule shared by the bench gate and
+    ``repro compare``: flag when ``new`` exceeds ``old`` by more than
+    ``max_regress`` (fractional, e.g. ``0.25`` = +25%).
+
+    Returns the human-readable regression message, or ``None`` on pass
+    (a non-positive baseline timing can never regress — there is
+    nothing meaningful to compare against).
+    """
+    if old > 0 and new > old * (1.0 + max_regress):
+        return (f"{label}: {new:.4f}s vs baseline {old:.4f}s "
+                f"(+{(new / old - 1.0) * 100:.0f}%, limit "
+                f"+{max_regress * 100:.0f}%)")
+    return None
+
+
 def compare_bench(report: Dict, baseline: Dict,
                   max_regress: float = 0.25) -> Sequence[str]:
     """Compare a fresh report's fast-engine replay times to a baseline.
 
     Returns a list of human-readable regression messages (empty =
-    pass).  A timing regresses when it exceeds the baseline's by more
-    than ``max_regress`` (fractional, e.g. ``0.25`` = +25%).  Reports
+    pass).  A timing regresses per :func:`timing_regression`.  Reports
     must describe the same experiment — workload, n_accesses, seed and
     budget — otherwise a :class:`ConfigError` is raised so CI can skip
     rather than compare apples to oranges.
@@ -230,11 +246,9 @@ def compare_bench(report: Dict, baseline: Dict,
     regressions = []
 
     def check(label, new, old):
-        if old > 0 and new > old * (1.0 + max_regress):
-            regressions.append(
-                f"{label}: {new:.4f}s vs baseline {old:.4f}s "
-                f"(+{(new / old - 1.0) * 100:.0f}%, limit "
-                f"+{max_regress * 100:.0f}%)")
+        message = timing_regression(label, new, old, max_regress)
+        if message is not None:
+            regressions.append(message)
 
     check("baseline_replay_s", report["baseline_replay_s"],
           baseline["baseline_replay_s"])

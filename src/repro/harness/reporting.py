@@ -73,6 +73,27 @@ PF_LIFECYCLE_EVENTS = ("pf.issued", "pf.fill", "pf.useful", "pf.late",
                        "pf.dropped", "pf.evicted_unused")
 
 
+def lifecycle_counts(events: Iterable[Dict]) -> Dict[str, int]:
+    """Per-stage tallies of the prefetch lifecycle funnel.
+
+    Shared between :func:`summarize_events` and the HTML dashboard so
+    both report the same funnel from the same event stream.
+    """
+    counts = TallyCounter(str(e.get("event", "?")) for e in events)
+    return {name: counts.get(name, 0) for name in PF_LIFECYCLE_EVENTS}
+
+
+def span_totals(events: Iterable[Dict]) -> Dict[str, Dict[str, float]]:
+    """Wall-clock totals per span name: ``{name: {calls, total_s, max_s}}``."""
+    spans: Dict[str, List[float]] = defaultdict(list)
+    for e in events:
+        if e.get("event") == "span":
+            spans[str(e.get("name", "?"))].append(float(e.get("wall_s", 0.0)))
+    return {name: {"calls": len(walls), "total_s": sum(walls),
+                   "max_s": max(walls)}
+            for name, walls in sorted(spans.items())}
+
+
 def summarize_events(events: Iterable[Dict]) -> List[EventTable]:
     """Aggregate a structured-event stream into report tables.
 
@@ -104,23 +125,20 @@ def summarize_events(events: Iterable[Dict]) -> List[EventTable]:
                        ["trace", "prefetcher", "IPC", "issued", "useful",
                         "late", "dropped", "LLC misses"], rows))
 
-    if runs or any(type_counts.get(name) for name in PF_LIFECYCLE_EVENTS):
+    funnel = lifecycle_counts(events)
+    if runs or any(funnel.values()):
         lifecycle_rows: List[Sequence[Cell]] = [
-            [name, type_counts.get(name, 0)] for name in PF_LIFECYCLE_EVENTS]
-        useful_total = (type_counts.get("pf.useful", 0)
-                        + type_counts.get("pf.late", 0))
+            [name, count] for name, count in funnel.items()]
+        useful_total = funnel["pf.useful"] + funnel["pf.late"]
         lifecycle_rows.append(["useful (total = useful + late)",
                                useful_total])
         tables.append(("Prefetch lifecycle", ["stage", "events"],
                        lifecycle_rows))
 
-    spans: Dict[str, List[float]] = defaultdict(list)
-    for e in events:
-        if e.get("event") == "span":
-            spans[str(e.get("name", "?"))].append(float(e.get("wall_s", 0.0)))
+    spans = span_totals(events)
     if spans:
-        rows = [[name, len(walls), sum(walls), max(walls)]
-                for name, walls in sorted(spans.items())]
+        rows = [[name, stat["calls"], stat["total_s"], stat["max_s"]]
+                for name, stat in spans.items()]
         tables.append(("Span timings",
                        ["span", "calls", "total s", "max s"], rows))
 

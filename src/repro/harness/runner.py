@@ -18,7 +18,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import PathfinderConfig, PathfinderPrefetcher
 from ..errors import ConfigError, WorkerCrashError
-from ..obs import Observability
+from ..obs import MemorySink, Observability, Tracer, default_observability
+from ..obs.ledger import active_ledger, current_run_id
 from ..resilience import faults
 from ..resilience import supervisor as resilience_supervisor
 from ..resilience.checkpoint import cell_key, resolve_journal
@@ -112,6 +113,20 @@ def _spec_prefetcher(spec: CellSpec) -> Prefetcher:
     if isinstance(spec, str):
         return make_prefetcher(spec)
     return PathfinderPrefetcher(spec)
+
+
+def _spec_name(spec: CellSpec) -> str:
+    return spec if isinstance(spec, str) else "pathfinder"
+
+
+def _cell_label(index: int, workload: str, spec: CellSpec) -> str:
+    """Short human-readable cell tag for event records and the ledger.
+
+    The index disambiguates config-sweep cells that share a prefetcher
+    name; the canonical (long) key from ``checkpoint.cell_key`` is what
+    the ledger stores alongside it for exact identity.
+    """
+    return f"{index:03d}:{workload}:{_spec_name(spec)}"
 
 
 @dataclass
@@ -215,7 +230,8 @@ def _worker_faults(attempt: int, index: Optional[int]) -> None:
         time.sleep(site.seconds)
 
 
-def _run_cell_task(task: Tuple) -> Tuple[EvalRow, Optional[object]]:
+def _run_cell_task(task: Tuple
+                   ) -> Tuple[EvalRow, Optional[object], Optional[List]]:
     """Worker-process body for one parallel grid cell.
 
     Receives everything it needs as picklable values (trace, baseline,
@@ -223,23 +239,40 @@ def _run_cell_task(task: Tuple) -> Tuple[EvalRow, Optional[object]]:
     parent's :class:`~repro.resilience.faults.FaultPlan` (re-armed here
     so injection crosses the process boundary), the attempt number
     (lets first-attempt-only faults stand down on retries), and the
-    cell index (lets ``cells=``-scoped faults pick their victim).
+    cell index (lets ``cells=``-scoped faults pick their victim) —
+    and the run-context (run id + cell label) injected at the
+    ``run_cells`` boundary.
 
     When the parent session is observed, the worker records into a
     private :class:`~repro.obs.Observability` bundle and ships its
     registry back for the parent to
-    :meth:`~repro.obs.MetricsRegistry.merge`; tracer sinks stay
-    parent-side (file handles don't cross process boundaries).
+    :meth:`~repro.obs.MetricsRegistry.merge`.  When the parent's tracer
+    has a live sink, the worker additionally records events into a
+    local :class:`~repro.obs.MemorySink` — every event tagged with the
+    run id and cell label — and ships them back in the cell result for
+    the parent to :meth:`~repro.obs.Tracer.ingest` in cell order
+    (file-handle sinks can't cross process boundaries, and without
+    this hand-off worker events would be silently dropped).
     """
-    (trace, baseline, spec, hierarchy, budget, observe, engine,
-     plan, attempt, index) = task
+    (trace, baseline, spec, hierarchy, budget, observe, capture_events,
+     engine, plan, attempt, index, run_id, cell) = task
     with faults.injected(plan):
         _worker_faults(attempt, index)
-        obs = Observability() if observe else None
+        obs = None
+        if observe:
+            tracer = Tracer(MemorySink()) if capture_events else None
+            obs = Observability(tracer=tracer)
+            if capture_events:
+                context = {"cell": cell}
+                if run_id is not None:
+                    context["run_id"] = run_id
+                obs.tracer.bind(**context)
         row = run_prefetcher(trace, _spec_prefetcher(spec), baseline,
                              hierarchy=hierarchy, budget=budget, obs=obs,
                              engine=engine)
-    return row, (obs.registry if obs is not None else None)
+    events = (obs.tracer.sink.events
+              if obs is not None and capture_events else None)
+    return row, (obs.registry if obs is not None else None), events
 
 
 @dataclass
@@ -281,7 +314,10 @@ class Evaluation:
 
     def _obs(self) -> Observability:
         if self.obs is None:
-            self.obs = Observability.disabled()
+            # Fall back to the CLI-installed ambient bundle so code that
+            # builds its own Evaluation (the experiment registry) still
+            # records into the invocation's registry and tracer.
+            self.obs = default_observability() or Observability.disabled()
         return self.obs
 
     def trace(self, workload: str) -> Trace:
@@ -336,6 +372,38 @@ class Evaluation:
                        extras={"outcome": "failed",
                                "attempts": outcome.attempts,
                                "error": outcome.error})
+
+    def _ledger_cell(self, index: int, cell: Tuple[str, CellSpec],
+                     row: EvalRow, key: Optional[str] = None,
+                     restored: bool = False) -> None:
+        """Record one cell's provenance in the ambient run ledger."""
+        ledger = active_ledger()
+        if ledger is None:
+            return
+        workload, spec = cell
+        metrics = {
+            "ipc": row.ipc,
+            "speedup": row.speedup,
+            "accuracy": row.accuracy,
+            "coverage": row.coverage,
+            "issued": row.issued,
+            "useful": row.useful,
+            "late": row.result.pf_late,
+            "dropped": row.result.extra.get("pf_dropped", 0),
+        }
+        error = row.extras.get("error")
+        ledger.record_cell(
+            cell=_cell_label(index, workload, spec),
+            key=key or self._cell_key(workload, spec),
+            seed=self.seed,
+            workload=workload,
+            prefetcher=row.prefetcher,
+            metrics=metrics,
+            timings=row.timings,
+            outcome=str(row.extras.get("outcome", "ok")),
+            attempts=int(row.extras.get("attempts", 1)),
+            restored=restored,
+            error=str(error) if error is not None else None)
 
     def _publish_resilience(self, stats) -> None:
         resilience_supervisor.note_stats(stats)
@@ -394,36 +462,53 @@ class Evaluation:
             if journal is not None:
                 keys[i] = self._cell_key(workload, spec)
                 rows[i] = journal.get(keys[i])
+                if rows[i] is not None:
+                    self._ledger_cell(i, cells[i], rows[i], key=keys[i],
+                                      restored=True)
             if rows[i] is None:
                 pending.append(i)
         if not pending:
             return rows  # fully restored from the journal
 
+        run_id = current_run_id()
+
         def finish(i: int, row: EvalRow) -> None:
             rows[i] = row
             if journal is not None:
                 journal.record(keys[i], row)
+            self._ledger_cell(i, cells[i], row, key=keys[i])
 
         if policy is None and (jobs <= 1 or len(pending) <= 1):
             # The exact pre-resilience serial path (parity anchor).
+            # Each cell runs under tracer context carrying the same
+            # run-id + cell tags the parallel workers stamp, so serial
+            # and parallel event logs line up record-for-record.
+            obs = self._obs()
             for i in pending:
                 workload, spec = cells[i]
-                finish(i, self.run(workload, spec)
-                       if isinstance(spec, str)
-                       else self.run_config(workload, spec))
+                context = {"cell": _cell_label(i, workload, spec)}
+                if run_id is not None:
+                    context["run_id"] = run_id
+                with obs.tracer.context(**context):
+                    finish(i, self.run(workload, spec)
+                           if isinstance(spec, str)
+                           else self.run_config(workload, spec))
             return rows
 
         # Traces/baselines are generated in the parent (filling the
         # caches) so every worker replays the identical access stream.
-        observe = self.obs is not None and self.obs.enabled
+        obs = self._obs()  # resolves the ambient bundle, if any
+        observe = obs.enabled
+        capture = observe and obs.tracer.enabled
         plan = faults.active()
 
         def make_task(pos: int, attempt: int) -> Tuple:
             i = pending[pos]
             workload, spec = cells[i]
             return (self.trace(workload), self.baseline(workload), spec,
-                    self.hierarchy, self.budget, observe, self.engine,
-                    plan, attempt, i)
+                    self.hierarchy, self.budget, observe, capture,
+                    self.engine, plan, attempt, i, run_id,
+                    _cell_label(i, workload, spec))
 
         if policy is None:
             # Unsupervised fan-out: one submit per cell so a raising
@@ -437,13 +522,18 @@ class Evaluation:
                 for pos, future in enumerate(futures):
                     i = pending[pos]
                     try:
-                        row, registry = future.result()
+                        row, registry, events = future.result()
                     except Exception as exc:  # noqa: BLE001
                         failures[i] = f"{type(exc).__name__}: {exc}"
                     else:
                         finish(i, row)
                         if registry is not None:
                             self._obs().registry.merge(registry)
+                        if events:
+                            # Futures are consumed in submission order,
+                            # so worker events land in deterministic
+                            # cell order regardless of completion order.
+                            self._obs().tracer.ingest(events)
             if failures:
                 raise WorkerCrashError(
                     f"{len(failures)} of {len(cells)} grid cell(s) "
@@ -464,9 +554,11 @@ class Evaluation:
             i = pending[pos]
             workload, spec = cells[i]
             if outcome.ok:
-                row, registry = outcome.value
+                row, registry, events = outcome.value
                 if registry is not None:
                     self._obs().registry.merge(registry)
+                if events:
+                    self._obs().tracer.ingest(events)
                 row.extras["outcome"] = outcome.outcome
                 row.extras["attempts"] = outcome.attempts
                 if outcome.error is not None:
@@ -474,8 +566,10 @@ class Evaluation:
                 finish(i, row)
             elif policy.degrade:
                 # Degraded cell: placeholder row, NOT journaled, so a
-                # later --resume gets another shot at it.
+                # later --resume gets another shot at it (the ledger
+                # still records the failure for provenance).
                 rows[i] = self._failed_row(workload, spec, outcome)
+                self._ledger_cell(i, cells[i], rows[i], key=keys[i])
             else:
                 failures[i] = outcome.error or "cell failed"
         self._publish_resilience(stats)

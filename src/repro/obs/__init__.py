@@ -6,6 +6,8 @@
   file sink and a no-op :class:`~repro.obs.tracing.NullSink` default.
 - :mod:`repro.obs.profiler` — phase timers plus optional tracemalloc
   peak-memory capture.
+- :mod:`repro.obs.ledger` — append-only run-provenance ledger (manifest
+  + per-cell records) with an ambient active-ledger/run-id context.
 
 The three are bundled into an :class:`Observability` object that the
 simulator, prefetchers, and harness accept.  The disabled bundle keeps
@@ -18,6 +20,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .ledger import (
+    RunLedger,
+    active_ledger,
+    current_run_id,
+    finish_run,
+    read_ledger,
+    set_active_ledger,
+    start_run,
+)
 from .profiler import PhaseStats, Profiler
 from .telemetry import (
     Counter,
@@ -71,6 +82,24 @@ class Observability:
         self.tracer.close()
 
 
+#: Ambient observability bundle installed by the CLI so code that
+#: builds its own Evaluation objects (the experiment registry) still
+#: records into the invocation's registry/tracer.  ``None`` means
+#: un-observed; an explicit ``Evaluation(obs=...)`` always wins.
+_DEFAULT_OBS: Optional[Observability] = None
+
+
+def set_default_observability(obs: Optional[Observability]) -> None:
+    """Install the ambient observability bundle (``None`` clears it)."""
+    global _DEFAULT_OBS
+    _DEFAULT_OBS = obs
+
+
+def default_observability() -> Optional[Observability]:
+    """The ambient bundle installed by the CLI, or ``None``."""
+    return _DEFAULT_OBS
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -83,7 +112,16 @@ __all__ = [
     "Observability",
     "PhaseStats",
     "Profiler",
+    "RunLedger",
     "Tracer",
+    "active_ledger",
+    "current_run_id",
+    "default_observability",
+    "finish_run",
     "metric_key",
     "read_events",
+    "read_ledger",
+    "set_active_ledger",
+    "set_default_observability",
+    "start_run",
 ]

@@ -1,0 +1,258 @@
+"""Run ledger: append-only provenance records for every invocation.
+
+Every ``repro run`` / ``repro experiment`` / ``repro bench`` invocation
+opens a :class:`RunLedger` under a results directory and writes:
+
+- one **manifest** record — run id, UTC timestamp, git SHA + dirty
+  flag, the resolved configuration and its fingerprint, seeds, CLI
+  argv, python/platform — so any number in a report can be traced back
+  to the exact code state and inputs that produced it;
+- one **cell** record per completed grid cell — canonical cell key,
+  seed, resilience outcome/attempts, key metrics, phase timings;
+- optional **experiment** records (experiment id + summary metrics);
+- one **finish** record with total wall time and resilience stats.
+  A ledger *without* a finish record is a crashed/interrupted run —
+  readers should treat it as incomplete rather than silently trust it.
+
+Records are one JSON object per line (``schema`` versioned).  The file
+is flushed through :func:`repro.resilience.atomic.atomic_write_text`
+on every append, so on-disk state is always a complete, parseable
+prefix of the run; :func:`read_ledger` additionally tolerates one torn
+trailing line, mirroring the checkpoint journal.
+
+The *active* ledger is ambient (like the resilience policy/checkpoint
+defaults) so grid internals can record per-cell provenance without any
+signature changes: the CLI installs it via :func:`set_active_ledger`
+and ``Evaluation.run_cells`` picks it up through
+:func:`active_ledger` / :func:`current_run_id`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Bump when the record layout changes incompatibly.
+LEDGER_SCHEMA = 1
+
+_ACTIVE: Optional["RunLedger"] = None
+
+
+def set_active_ledger(ledger: Optional["RunLedger"]) -> None:
+    """Install the ambient run ledger (``None`` clears it)."""
+    global _ACTIVE
+    _ACTIVE = ledger
+
+
+def active_ledger() -> Optional["RunLedger"]:
+    """The ambient ledger installed by the CLI, or ``None``."""
+    return _ACTIVE
+
+
+def current_run_id() -> Optional[str]:
+    """The active run's id, or ``None`` outside a ledgered invocation."""
+    return _ACTIVE.run_id if _ACTIVE is not None else None
+
+
+def new_run_id() -> str:
+    """A sortable, collision-safe run id (UTC timestamp + random tail)."""
+    return (time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+            + "-" + uuid.uuid4().hex[:6])
+
+
+def git_state(cwd: Optional[Union[str, Path]] = None) -> Dict[str, object]:
+    """Best-effort ``{"sha": ..., "dirty": ...}`` of the working tree.
+
+    Both fields are ``None`` when git is unavailable or the directory
+    is not a repository — provenance should degrade, not crash a run.
+    """
+    def _git(*args: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ("git",) + args, capture_output=True, text=True,
+                timeout=5, cwd=str(cwd) if cwd else None)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    sha = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain")
+    return {
+        "sha": sha.strip() if sha else None,
+        "dirty": bool(status.strip()) if status is not None else None,
+    }
+
+
+def config_fingerprint(config: Dict[str, object]) -> str:
+    """A short stable hash of a resolved-config dict (sorted-key JSON)."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _coerce(value):
+    """JSON fallback for numpy scalars hiding in metrics/extras."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class RunLedger:
+    """Append-only JSONL provenance ledger for one invocation.
+
+    Args:
+        path: The ledger file (conventionally
+            ``<results_dir>/<run_id>.jsonl``).
+        run_id: This run's id, stamped onto every record.
+    """
+
+    def __init__(self, path: Union[str, Path], run_id: str):
+        self.path = Path(path)
+        self.run_id = run_id
+        self._records: List[Dict[str, object]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record (run id injected) and persist atomically."""
+        record = dict(record)
+        record.setdefault("run_id", self.run_id)
+        self._records.append(record)
+        self._flush()
+
+    def _flush(self) -> None:
+        from ..resilience.atomic import atomic_write_text
+
+        lines = [json.dumps(record, separators=(",", ":"), default=_coerce)
+                 for record in self._records]
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    def write_manifest(self, command: str, argv: List[str],
+                       config: Dict[str, object],
+                       seeds: Optional[List[int]] = None) -> None:
+        """Record the run manifest (call once, before any cells)."""
+        self.append({
+            "kind": "manifest",
+            "schema": LEDGER_SCHEMA,
+            "command": command,
+            "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                           time.gmtime()),
+            "git": git_state(),
+            "argv": list(argv),
+            "config": config,
+            "config_fingerprint": config_fingerprint(config),
+            "seeds": list(seeds) if seeds is not None else None,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "pid": os.getpid(),
+        })
+
+    def record_cell(self, *, cell: str, key: str, seed: int,
+                    workload: str, prefetcher: str,
+                    metrics: Dict[str, object],
+                    timings: Optional[Dict[str, float]] = None,
+                    outcome: str = "ok", attempts: int = 1,
+                    restored: bool = False,
+                    error: Optional[str] = None) -> None:
+        """Record provenance for one completed (or restored) grid cell."""
+        record: Dict[str, object] = {
+            "kind": "cell",
+            "cell": cell,
+            "key": key,
+            "seed": seed,
+            "workload": workload,
+            "prefetcher": prefetcher,
+            "outcome": outcome,
+            "attempts": attempts,
+            "restored": restored,
+            "metrics": dict(metrics),
+            "timings": dict(timings or {}),
+        }
+        if error is not None:
+            record["error"] = error
+        self.append(record)
+
+    def finish(self, wall_s: float, status: str = "ok",
+               resilience: Optional[Dict[str, object]] = None) -> None:
+        """Record the closing wall time (absence marks a crashed run)."""
+        record: Dict[str, object] = {
+            "kind": "finish",
+            "status": status,
+            "wall_s": wall_s,
+        }
+        if resilience:
+            record["resilience"] = resilience
+        self.append(record)
+
+
+def start_run(results_dir: Union[str, Path], command: str,
+              argv: List[str], config: Dict[str, object],
+              seeds: Optional[List[int]] = None) -> RunLedger:
+    """Open a new ledger under ``results_dir`` and make it ambient."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    run_id = new_run_id()
+    ledger = RunLedger(results_dir / f"{run_id}.jsonl", run_id)
+    ledger.write_manifest(command, argv, config, seeds=seeds)
+    set_active_ledger(ledger)
+    return ledger
+
+
+def finish_run(ledger: RunLedger, wall_s: float, status: str = "ok",
+               resilience: Optional[Dict[str, object]] = None) -> None:
+    """Close out a ledger opened by :func:`start_run`."""
+    ledger.finish(wall_s, status=status, resilience=resilience)
+    if active_ledger() is ledger:
+        set_active_ledger(None)
+
+
+def read_ledger(path: Union[str, Path]) -> Dict[str, object]:
+    """Parse a ledger back into ``{"manifest", "cells", "experiments",
+    "finish"}``.
+
+    Tolerates one torn trailing line (crash mid-append); corruption
+    anywhere else raises ``ValueError``.  ``finish`` is ``None`` for a
+    run that never completed.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    last_payload_lineno = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0)
+    manifest: Optional[Dict[str, object]] = None
+    cells: List[Dict[str, object]] = []
+    experiments: List[Dict[str, object]] = []
+    finish: Optional[Dict[str, object]] = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == last_payload_lineno:
+                break  # torn tail: drop it, keep the parsed prefix
+            raise ValueError(
+                f"{path}:{lineno}: corrupt ledger line ({exc})") from None
+        kind = record.get("kind")
+        if kind == "manifest":
+            manifest = record
+        elif kind == "cell":
+            cells.append(record)
+        elif kind == "experiment":
+            experiments.append(record)
+        elif kind == "finish":
+            finish = record
+        # Unknown kinds are skipped, not fatal: newer writers may add
+        # record types this reader predates.
+    return {"manifest": manifest, "cells": cells,
+            "experiments": experiments, "finish": finish}

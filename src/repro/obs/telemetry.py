@@ -13,6 +13,7 @@ be ``json.dump``-ed directly (the ``--metrics-out`` CLI path).
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
@@ -89,14 +90,23 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate quantile from bucket upper bounds.
 
-        Returns the upper bound of the bucket containing the q-th
-        sample (``max`` for the overflow bucket); 0.0 when empty.
+        Interpolation rule: the result is the upper bound of the bucket
+        containing the sample of 1-based rank ``ceil(q * count)`` — no
+        interpolation *within* a bucket.  Edge cases are well-defined:
+        ``q == 0`` reports the observed ``min``, ranks landing in the
+        overflow bucket report the observed ``max``, and an empty
+        histogram reports ``0.0`` for every ``q`` (never a
+        ``ZeroDivisionError``/``IndexError``).  A single-sample
+        histogram therefore reports that sample's bucket bound (or the
+        sample itself if it overflowed) for every ``q > 0``.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigError("quantile q must be in [0, 1]")
         if self.count == 0:
             return 0.0
-        target = q * self.count
+        if q == 0.0:
+            return float(self.min)
+        target = math.ceil(q * self.count)
         seen = 0
         for index, bucket in enumerate(self.bucket_counts):
             seen += bucket
@@ -181,7 +191,13 @@ class MetricsRegistry:
         combine bucket counts and summary statistics (bounds must
         match).  This is how per-worker registries from parallel grid
         runs land back in the parent session's registry.
+
+        Merging a registry into itself is a no-op (not a doubling) —
+        the grid merge loop may legitimately hand back the parent's own
+        registry on the in-process serial fallback path.
         """
+        if other is self:
+            return
         for key, counter in other._counters.items():
             mine = self._counters.get(key)
             if mine is None:

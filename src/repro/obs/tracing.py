@@ -96,12 +96,31 @@ class Tracer:
     Attributes:
         enabled: False iff the sink is a :class:`NullSink` — read this
             before building event payloads in hot loops.
+
+    Bound context (:meth:`bind` / :meth:`context`) is merged into every
+    emitted record — this is how run ids and grid cell keys end up on
+    each event without threading them through every ``emit`` call site.
     """
 
     def __init__(self, sink=None):
         self.sink = sink if sink is not None else NullSink()
         self.enabled = bool(getattr(self.sink, "enabled", True))
         self._seq = 0
+        self._bound: Dict[str, object] = {}
+
+    def bind(self, **fields: object) -> None:
+        """Permanently merge ``fields`` into every future record."""
+        self._bound.update(fields)
+
+    @contextmanager
+    def context(self, **fields: object) -> Iterator[None]:
+        """Bind ``fields`` for the duration of a block, then restore."""
+        saved = dict(self._bound)
+        self._bound.update(fields)
+        try:
+            yield
+        finally:
+            self._bound = saved
 
     def emit(self, event: str, **fields: object) -> None:
         """Record one event (dropped instantly when disabled)."""
@@ -109,8 +128,22 @@ class Tracer:
             return
         self._seq += 1
         record: Dict[str, object] = {"event": event, "seq": self._seq}
+        if self._bound:
+            record.update(self._bound)
         record.update(fields)
         self.sink.write(record)
+
+    def ingest(self, events) -> None:
+        """Write pre-built records (e.g. shipped back from a grid
+        worker's :class:`MemorySink`) to the sink in the given order.
+
+        Records pass through verbatim — they already carry their own
+        ``seq`` and bound context from the tracer that emitted them, so
+        per-cell ordering is preserved at the parent."""
+        if not self.enabled:
+            return
+        for record in events:
+            self.sink.write(record)
 
     @contextmanager
     def span(self, name: str, **fields: object) -> Iterator[None]:
@@ -130,21 +163,31 @@ class Tracer:
         self.sink.close()
 
 
-def read_events(path) -> List[Dict[str, object]]:
+def read_events(path, tolerate_torn_tail: bool = True
+                ) -> List[Dict[str, object]]:
     """Parse a JSONL event file back into a list of dicts.
 
-    Blank lines are skipped; malformed lines raise ``ValueError`` with
-    the offending line number.
+    Blank lines are skipped.  A malformed *final* line is dropped (a
+    torn tail from a crash mid-write — the same tolerance the
+    checkpoint journal applies); malformed lines anywhere else raise
+    ``ValueError`` with the offending line number.  Pass
+    ``tolerate_torn_tail=False`` to make a torn tail raise too.
     """
     events: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: malformed event line: {exc}") from None
+        lines = fh.read().splitlines()
+    last_payload_lineno = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerate_torn_tail and lineno == last_payload_lineno:
+                break  # torn trailing record: drop it, keep the rest
+            raise ValueError(
+                f"{path}:{lineno}: malformed event line: {exc}") from None
     return events

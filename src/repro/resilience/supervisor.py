@@ -167,6 +167,15 @@ class SupervisorStats:
         tail = f" [{', '.join(extras)}]" if extras else ""
         return f"cells: {', '.join(parts)}{tail}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (run-ledger finish records, reports)."""
+        return {
+            "pool_respawns": self.pool_respawns,
+            "timeouts": self.timeouts,
+            "serial_fallback": self.serial_fallback,
+            "cells": dict(self.cells),
+        }
+
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down hard enough to reclaim hung workers."""

@@ -8,6 +8,17 @@ from repro.traces import make_trace
 from repro.traces.synthetic import DeltaPatternStream, StreamMixer
 
 
+@pytest.fixture(autouse=True)
+def _results_dir_in_tmp(tmp_path, monkeypatch):
+    """Point run ledgers at tmp_path so CLI tests never litter the repo.
+
+    The CLI's ``--results-dir`` default reads ``REPRO_RESULTS_DIR``;
+    every test (and any ``repro`` invocation it makes via ``main``)
+    therefore writes its ledger under the test's own tmp directory.
+    """
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+
+
 @pytest.fixture(scope="session")
 def small_hierarchy():
     """The scaled hierarchy used across the evaluation."""

@@ -168,9 +168,11 @@ def test_cli_resume_roundtrip(tmp_path, capsys):
     assert main(argv) == 0
     second = capsys.readouterr().out
     assert "resuming from" in second
-    # The restored run reproduces the experiment output exactly.
+    # The restored run reproduces the experiment output exactly
+    # (modulo the per-invocation run-ledger path and resilience note).
     strip = lambda text: [line for line in text.splitlines()
-                          if not line.startswith("[resilience]")]
+                          if not line.startswith(("[resilience]",
+                                                  "[run ledger:"))]
     assert strip(first) == strip(second)
 
 

@@ -68,6 +68,36 @@ def test_histogram_quantile_and_empty():
         h.quantile(1.5)
 
 
+def test_histogram_quantile_edge_cases():
+    # Documented rule: result = upper bound of the bucket holding the
+    # sample of 1-based rank ceil(q*count); q=0 -> min; overflow -> max;
+    # empty -> 0.0 for every q.
+    empty = Histogram(bounds=(1, 2, 4))
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert empty.quantile(q) == 0.0  # never ZeroDivision/IndexError
+
+    single = Histogram(bounds=(1, 2, 4))
+    single.observe(1.5)
+    assert single.quantile(0.0) == 1.5   # q=0 reports the observed min
+    for q in (0.01, 0.5, 0.99, 1.0):
+        assert single.quantile(q) == 2.0  # its bucket's upper bound
+
+    overflow_only = Histogram(bounds=(1, 2))
+    overflow_only.observe(100.0)
+    assert overflow_only.quantile(0.5) == 100.0  # overflow reports max
+    assert overflow_only.quantile(0.0) == 100.0
+
+    h = Histogram(bounds=(1, 2, 4))
+    for value in (1, 1, 2, 8):
+        h.observe(value)
+    assert h.quantile(0.0) == 1.0        # observed min, not bucket bound
+    assert h.quantile(0.25) == 1.0       # rank ceil(0.25*4)=1 -> le_1
+    assert h.quantile(0.75) == 2.0       # rank 3 -> le_2
+    assert h.quantile(0.76) == 8.0       # rank 4 -> overflow -> max
+    with pytest.raises(ConfigError):
+        h.quantile(-0.1)
+
+
 def test_histogram_rejects_unsorted_bounds():
     with pytest.raises(ConfigError):
         Histogram(bounds=(4, 2, 1))
@@ -132,6 +162,50 @@ def test_memory_sink_records_ordered_events():
     assert sink.events[1]["y"] == "z"
 
 
+def test_tracer_bound_context_tags_every_record():
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    tracer.bind(run_id="r1")
+    tracer.emit("a")
+    with tracer.context(cell="000:cc-5:spp"):
+        tracer.emit("b")
+        with tracer.span("replay"):
+            pass
+    tracer.emit("c")
+    a, b, span, c = sink.events
+    assert a == {"event": "a", "seq": 1, "run_id": "r1"}
+    assert b["cell"] == "000:cc-5:spp" and b["run_id"] == "r1"
+    assert span["cell"] == "000:cc-5:spp"  # spans inherit the context
+    assert "cell" not in c, "context must restore on exit"
+    assert c["run_id"] == "r1", "bind is permanent"
+
+
+def test_tracer_context_restores_on_exception():
+    tracer = Tracer(MemorySink())
+    with pytest.raises(RuntimeError):
+        with tracer.context(cell="x"):
+            raise RuntimeError("boom")
+    tracer.emit("after")
+    assert "cell" not in tracer.sink.events[-1]
+
+
+def test_tracer_ingest_passes_records_through_verbatim():
+    # Shipped-back worker records keep their own seq and tags; the
+    # parent's seq counter is not consumed.
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    tracer.emit("parent")
+    worker_records = [{"event": "w", "seq": 1, "cell": "000"},
+                      {"event": "w", "seq": 2, "cell": "000"}]
+    tracer.ingest(worker_records)
+    tracer.emit("parent2")
+    assert sink.events[1:3] == worker_records
+    assert sink.events[3]["seq"] == 2  # parent counter unaffected
+
+    disabled = Tracer()
+    disabled.ingest(worker_records)  # no-op, must not raise
+
+
 def test_span_records_wall_time():
     sink = MemorySink()
     tracer = Tracer(sink)
@@ -169,11 +243,31 @@ def test_jsonl_sink_coerces_numpy_scalars(tmp_path):
     assert event["count"] == 3
 
 
-def test_read_events_rejects_malformed_lines(tmp_path):
+def test_read_events_tolerates_torn_tail(tmp_path):
+    # A malformed FINAL line is a torn tail (crash mid-write): dropped,
+    # parsed prefix kept — mirroring the checkpoint journal.
+    path = tmp_path / "torn.jsonl"
+    path.write_text('{"event": "ok"}\n{"event": "tr')
+    assert read_events(path) == [{"event": "ok"}]
+    with pytest.raises(ValueError, match="malformed"):
+        read_events(path, tolerate_torn_tail=False)
+
+
+def test_read_events_rejects_malformed_interior_lines(tmp_path):
+    # Corruption anywhere BEFORE the tail is real damage, not a torn
+    # write, and must raise even with tail tolerance on.
     path = tmp_path / "bad.jsonl"
-    path.write_text('{"event": "ok"}\nnot json\n')
+    path.write_text('{"event": "ok"}\nnot json\n{"event": "ok2"}\n')
     with pytest.raises(ValueError, match="malformed"):
         read_events(path)
+
+
+def test_read_events_torn_tail_ignores_trailing_blank_lines(tmp_path):
+    # The torn record may be followed by blank lines; it is still the
+    # last payload line and still dropped.
+    path = tmp_path / "torn.jsonl"
+    path.write_text('{"event": "ok"}\n{"bad\n\n\n')
+    assert read_events(path) == [{"event": "ok"}]
 
 
 # -- profiler ----------------------------------------------------------------

@@ -1,11 +1,13 @@
 """Parallel grid evaluation: worker fan-out parity and registry merge."""
 
+from collections import defaultdict
+
 import pytest
 
 from repro.core import PathfinderConfig
 from repro.errors import ConfigError
 from repro.harness.runner import Evaluation, multi_seed_grid
-from repro.obs import Observability
+from repro.obs import MemorySink, Observability, Tracer
 from repro.obs.telemetry import MetricsRegistry
 
 
@@ -53,6 +55,70 @@ def test_parallel_run_merges_worker_registries():
         assert parallel_counters[key] == serial_counters[key]
 
 
+def test_parallel_run_propagates_worker_events():
+    # Regression: worker-side tracer events used to be silently dropped
+    # (the worker's default tracer had a NullSink and file sinks can't
+    # cross the process boundary).  With a live parent tracer, every
+    # cell's events must come back, tagged with its cell label, in
+    # deterministic cell order with monotone per-cell sequence numbers.
+    cells = [("cc-5", "nextline"), ("cc-5", "spp"),
+             ("605-mcf-s1", "nextline")]
+    obs = Observability(tracer=Tracer(MemorySink()))
+    Evaluation(n_accesses=1000, obs=obs).run_cells(cells, jobs=2)
+    events = obs.tracer.sink.events
+    tagged = [e for e in events if "cell" in e]
+    assert tagged, "worker events must reach the parent sink"
+    per_cell = defaultdict(list)
+    for event in tagged:
+        per_cell[event["cell"]].append(event["seq"])
+    labels = {f"{i:03d}:{w}:{s}" for i, (w, s) in enumerate(cells)}
+    assert set(per_cell) == labels, "every cell must contribute events"
+    for label, seqs in per_cell.items():
+        assert seqs == sorted(seqs), f"{label}: seq must be monotone"
+    # Cell blocks arrive in submission (cell) order.
+    first_index = {label: min(i for i, e in enumerate(tagged)
+                              if e["cell"] == label)
+                   for label in per_cell}
+    assert sorted(first_index, key=first_index.get) == sorted(labels)
+
+
+def test_parallel_event_stream_matches_serial():
+    # Serial and parallel runs of the same cells produce the same
+    # per-cell event streams (the serial path binds the same
+    # cell-context the workers stamp; both use the reference engine
+    # when tracing).  Two legitimate differences are normalised away:
+    # sequence numbers (serial shares one counter, workers restart per
+    # cell) and the no-prefetch baseline replay (generated lazily
+    # inside the first cell's context in serial, parent-side and
+    # untagged in parallel).
+    def per_cell_stream(jobs):
+        obs = Observability(tracer=Tracer(MemorySink()))
+        Evaluation(n_accesses=1000, obs=obs).run_cells(
+            [("cc-5", "nextline"), ("cc-5", "spp")], jobs=jobs)
+        streams = defaultdict(list)
+        for event in obs.tracer.sink.events:
+            if "cell" not in event or event.get("prefetcher") == "none":
+                continue
+            streams[event["cell"]].append(
+                {k: v for k, v in event.items() if k != "seq"})
+        return dict(streams)
+
+    assert per_cell_stream(1) == per_cell_stream(2)
+
+
+def test_parallel_metrics_snapshot_matches_serial():
+    # The parent's merged registry after a --jobs N grid equals the
+    # serial registry (counters sum, histograms combine, in cell order).
+    cells = [("cc-5", "pathfinder"), ("cc-5", "spp"),
+             ("605-mcf-s1", "nextline")]
+    snapshots = []
+    for jobs in (1, 3):
+        obs = Observability(tracer=Tracer(MemorySink()))
+        Evaluation(n_accesses=1000, obs=obs).run_cells(cells, jobs=jobs)
+        snapshots.append(obs.registry.snapshot())
+    assert snapshots[0] == snapshots[1]
+
+
 def test_multi_seed_grid_parallel_matches_serial():
     kwargs = dict(workloads=["cc-5"], prefetchers=["nextline", "sisb"],
                   seeds=(1, 2), n_accesses=1000)
@@ -93,6 +159,48 @@ def test_registry_merge_rejects_bound_mismatch():
     b.histogram("lat", bounds=(1, 4)).observe(0.5)
     with pytest.raises(ConfigError):
         a.merge(b)
+
+
+def test_registry_merge_self_is_noop():
+    a = MetricsRegistry()
+    a.counter("hits").inc(3)
+    a.gauge("level").set(2.0)
+    a.histogram("lat", bounds=(1, 2)).observe(0.5)
+    a.merge(a)
+    snap = a.snapshot()
+    assert snap["counters"]["hits"] == 3, "self-merge must not double"
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_registry_merge_label_collisions():
+    # Same metric name with different label sets are distinct keys;
+    # identical (name, labels) pairs collide and combine per-type.
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("pf.issued", run="pathfinder").inc(2)
+    b.counter("pf.issued", run="pathfinder").inc(3)
+    b.counter("pf.issued", run="spp").inc(7)
+    a.gauge("load", level="l2").set(1.0)
+    b.gauge("load", level="l2").set(9.0)
+    b.gauge("load", level="llc").set(4.0)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["counters"]["pf.issued{run=pathfinder}"] == 5
+    assert snap["counters"]["pf.issued{run=spp}"] == 7
+    assert snap["gauges"]["load{level=l2}"] == 9.0  # LWW: other wins
+    assert snap["gauges"]["load{level=llc}"] == 4.0
+
+
+def test_registry_merge_gauge_lww_vs_counter_sum():
+    # Counters accumulate across merges; gauges always take the
+    # incoming value, even when it is "older" numerically.
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("n").inc(10)
+    a.gauge("g").set(10.0)
+    b.counter("n").inc(1)
+    b.gauge("g").set(1.0)
+    a.merge(b)
+    assert a.counter("n").value == 11
+    assert a.gauge("g").value == 1.0
 
 
 def test_merge_into_empty_registry_copies_values():
