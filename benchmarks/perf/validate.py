@@ -4,12 +4,16 @@
 Usage:
     python benchmarks/perf/validate.py BENCH_perf.json
     python benchmarks/perf/validate.py NEW.json --baseline OLD.json \
-        [--max-regress 0.25]
+        [--max-regress 0.25] [--stats]
 
-With ``--baseline`` the fast-engine replay timings in NEW.json are
-gated against OLD.json: any ``replay_s`` (or the no-prefetch
-``baseline_replay_s``) more than ``--max-regress`` (default +25%)
-slower fails with exit 1.  If the two reports describe different
+Accepts schema v2 and v3 reports (v3 additionally carries per-repeat
+timing samples).  With ``--baseline`` the fast-engine replay timings
+in NEW.json are gated against OLD.json: any ``replay_s`` (or the
+no-prefetch ``baseline_replay_s``) more than ``--max-regress``
+(default from repro.harness.perfbench.DEFAULT_MAX_REGRESS, +25%)
+slower fails with exit 1.  ``--stats`` switches to the
+significance-tested gate (Mann-Whitney + Holm over the v3 samples;
+falls back to the threshold when either report is v2).  If the two reports describe different
 experiments (workload / n_accesses / seed / budget) the gate is
 skipped with exit 0 so a deliberate re-parameterisation doesn't trip
 CI.
@@ -22,7 +26,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
 from repro.errors import ConfigError  # noqa: E402
-from repro.harness.perfbench import compare_bench, load_bench  # noqa: E402
+from repro.harness.compare import compare_bench_reports  # noqa: E402
+from repro.harness.perfbench import (  # noqa: E402
+    DEFAULT_MAX_REGRESS,
+    compare_bench,
+    load_bench,
+)
 
 
 def main(argv):
@@ -31,8 +40,14 @@ def main(argv):
     parser.add_argument("report", help="fresh bench report to validate")
     parser.add_argument("--baseline", metavar="OLD",
                         help="committed report to gate regressions against")
-    parser.add_argument("--max-regress", type=float, default=0.25,
-                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--max-regress", type=float,
+                        default=DEFAULT_MAX_REGRESS,
+                        help="allowed fractional slowdown "
+                             f"(default {DEFAULT_MAX_REGRESS})")
+    parser.add_argument("--stats", action="store_true",
+                        help="significance-tested gate over v3 "
+                             "per-repeat samples (threshold fallback "
+                             "for v2 reports)")
     args = parser.parse_args(argv[1:])
 
     try:
@@ -53,8 +68,16 @@ def main(argv):
         print(f"INVALID baseline: {exc}")
         return 1
     try:
-        regressions = compare_bench(report, baseline,
-                                    max_regress=args.max_regress)
+        if args.stats:
+            result = compare_bench_reports(baseline, report,
+                                           max_regress=args.max_regress,
+                                           use_stats=True)
+            regressions = result.regressions
+            gate = result.gate
+        else:
+            regressions = compare_bench(report, baseline,
+                                        max_regress=args.max_regress)
+            gate = "threshold"
     except ConfigError as exc:
         print(f"SKIP gate: {exc}")
         return 0
@@ -62,8 +85,12 @@ def main(argv):
         for line in regressions:
             print(f"REGRESSION {line}")
         return 1
-    print(f"GATE OK: no replay timing regressed more than "
-          f"{args.max_regress * 100:.0f}% vs {args.baseline}")
+    if gate == "significance":
+        print(f"GATE OK ({gate}): no statistically significant replay "
+              f"slowdown vs {args.baseline}")
+    else:
+        print(f"GATE OK ({gate}): no replay timing regressed more than "
+              f"{args.max_regress * 100:.0f}% vs {args.baseline}")
     return 0
 
 

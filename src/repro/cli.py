@@ -31,22 +31,30 @@ Four subcommands, installed as the ``repro`` console script::
         the fault points).
 
     repro bench [--small] [--out BENCH_perf.json] [--prefetchers a,b]
-              [--loads N] [--seed S] [--repeats R]
+              [--loads N] [--seed S] [--repeats R] [--history [FILE]]
         Time the trace-gen / prefetch-file / replay phases per
         prefetcher at fixed seeds and write a schema-versioned JSON
         perf report (the repo tracks ``BENCH_perf.json`` at its root).
+        With ``--history`` each run also appends a perf-trend entry to
+        an append-only JSONL, keyed by config fingerprint.
 
     repro report [events.jsonl] [--ledger RUN.jsonl] [--metrics m.json]
-              [--html OUT.html]
+              [--history FILE] [--html OUT.html]
         Aggregate a ``--events-out`` file into human-readable tables
         (run summaries, prefetch lifecycle funnel, span timings), and/or
         render a self-contained HTML dashboard from any combination of
-        events, run ledger, and metrics snapshot.
+        events, run ledger, metrics snapshot, and perf-trend history
+        (ranking table with bootstrap-CI whiskers and significance
+        groups; timeline per bench config with >= 2 history entries).
 
-    repro compare RUN_A RUN_B [--max-regress 0.25]
+    repro compare RUN_A RUN_B [--max-regress 0.25] [--stats [--alpha A]]
         Diff two run artifacts (perf-bench reports or run ledgers):
-        per-cell metric deltas plus threshold-based regression flags.
-        Exits 1 when a timing regression exceeds the threshold.
+        per-cell metric deltas plus regression flags.  The default gate
+        is the fixed threshold; ``--stats`` switches sampled cells to a
+        significance-tested gate (one-sided Mann-Whitney U with Holm
+        correction, seeded bootstrap CIs) that flags a slowdown only
+        when it is both statistically significant and larger than
+        ``--max-regress``.  Exits 1 on a regression, 2 on usage errors.
 
 Every ``run``/``experiment``/``bench`` invocation also appends a run
 ledger — manifest (git SHA, config fingerprint, seeds, argv) plus
@@ -74,6 +82,8 @@ from .harness import (
     summarize_events,
     write_dashboard,
 )
+from .harness.history import DEFAULT_HISTORY_PATH
+from .harness.perfbench import DEFAULT_MAX_REGRESS
 from .obs import (
     JsonlSink,
     Observability,
@@ -363,6 +373,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness.history import append_history
     from .harness.perfbench import (
         DEFAULT_PREFETCHERS,
         SMALL_N_ACCESSES,
@@ -425,13 +436,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"loads, seed {report['seed']}"))
     save_bench(report, args.out)
     print(f"\n[perf report written to {args.out}]")
+    if args.history:
+        try:
+            append_history(report, args.history,
+                           run_id=ledger.run_id if ledger else None)
+            print(f"[perf history appended to {args.history}]")
+        except ConfigError as exc:
+            # Trend history is best-effort provenance, never a reason
+            # to fail a bench that already produced its report.
+            print(f"warning: {exc}")
     if ledger is not None:
         print(f"[run ledger: {ledger.path}]")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    events = ledger = metrics = None
+    from .harness.history import DEFAULT_HISTORY_PATH, read_history
+
+    events = ledger = metrics = history = None
     try:
         if args.events:
             events = read_events(args.events)
@@ -442,19 +464,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ledger = read_ledger(args.ledger)
         if args.metrics:
             metrics = json.loads(open(args.metrics, encoding="utf-8").read())
-    except (OSError, ValueError) as exc:
+        if args.history:
+            history = read_history(args.history)
+        elif args.history is None and DEFAULT_HISTORY_PATH.is_file():
+            # Opt-out with --history "" ; otherwise pick up the repo's
+            # trend file automatically when it exists.
+            history = read_history(DEFAULT_HISTORY_PATH)
+    except (OSError, ValueError, ConfigError) as exc:
         print(f"error: {exc}")
         return 2
-    if events is None and ledger is None and metrics is None:
+    if events is None and ledger is None and metrics is None \
+            and history is None:
         print("error: nothing to report "
-              "(pass an events file and/or --ledger/--metrics)")
+              "(pass an events file and/or --ledger/--metrics/--history)")
         return 2
     if args.html:
         run_id = (ledger.get("manifest") or {}).get("run_id") if ledger \
             else None
         title = (f"repro run {run_id}" if run_id else "repro run dashboard")
         write_dashboard(args.html, ledger=ledger, events=events,
-                        metrics=metrics, title=title)
+                        metrics=metrics, history=history, title=title)
         print(f"[dashboard written to {args.html}]")
     if events is not None:
         blocks = [format_table(headers, rows, title=title)
@@ -468,7 +497,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     try:
         result = compare_artifacts(args.run_a, args.run_b,
-                                   max_regress=args.max_regress)
+                                   max_regress=args.max_regress,
+                                   use_stats=args.stats,
+                                   alpha=args.alpha)
     except ConfigError as exc:
         print(f"error: {exc}")
         return 2
@@ -581,6 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--budget", type=int, default=2)
     p_bench.add_argument("--repeats", type=int, default=1,
                          help="timing repeats; phases report the minimum")
+    p_bench.add_argument(
+        "--history", metavar="FILE", nargs="?",
+        default="", const=str(DEFAULT_HISTORY_PATH),
+        help="append a perf-trend entry to FILE (bare --history uses "
+             f"{DEFAULT_HISTORY_PATH}); off by default")
     _add_ledger_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -592,6 +628,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run-ledger file to include in the report")
     p_rep.add_argument("--metrics", metavar="FILE",
                        help="--metrics-out snapshot to include")
+    p_rep.add_argument(
+        "--history", metavar="FILE", nargs="?", default=None, const="",
+        help="perf-trend history JSONL for the dashboard timeline "
+             f"(default: {DEFAULT_HISTORY_PATH} when present; bare "
+             "--history disables the automatic pickup)")
     p_rep.add_argument("--html", metavar="OUT.html",
                        help="write a self-contained HTML dashboard")
     p_rep.set_defaults(func=_cmd_report)
@@ -600,9 +641,21 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="diff two run artifacts (bench reports or ledgers)")
     p_cmp.add_argument("run_a", help="baseline artifact (A)")
     p_cmp.add_argument("run_b", help="candidate artifact (B)")
-    p_cmp.add_argument("--max-regress", type=float, default=0.25,
+    p_cmp.add_argument("--max-regress", type=float,
+                       default=DEFAULT_MAX_REGRESS,
                        help="fractional timing-regression threshold "
-                            "(default 0.25 = +25%%)")
+                            f"(default {DEFAULT_MAX_REGRESS} = "
+                            f"+{round(DEFAULT_MAX_REGRESS * 100)}%%)")
+    p_cmp.add_argument("--stats", action="store_true",
+                       help="significance-tested gate: flag slowdowns "
+                            "only when both statistically significant "
+                            "(Mann-Whitney + Holm) and larger than "
+                            "--max-regress, where both runs carry "
+                            "enough samples; falls back to the "
+                            "threshold elsewhere")
+    p_cmp.add_argument("--alpha", type=float, default=0.05,
+                       help="family-wise significance level for "
+                            "--stats (default 0.05)")
     p_cmp.set_defaults(func=_cmd_compare)
     return parser
 

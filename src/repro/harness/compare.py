@@ -5,30 +5,85 @@ report (``repro bench --out``) or a run ledger JSONL (``repro run`` /
 ``experiment`` / ``bench`` under ``--results-dir``) — auto-detected by
 content, and produces per-cell metric deltas plus regression flags.
 
-Timing regressions reuse the exact perfbench gate rule
-(:func:`repro.harness.perfbench.timing_regression`): a timing regresses
-when it exceeds the baseline's by more than ``max_regress`` (default
-+25%).  Rate metrics (accuracy/coverage/speedup) are reported as deltas
-and flagged as anomalies when they worsen by more than
-``max_metric_drop`` (absolute), since a correctness-shaped drift
-deserves eyes even if no wall-clock moved.
+Two regression gates share this module:
+
+- **Threshold gate** (the default, and the only option when artifacts
+  carry single measurements): a timing regresses when it exceeds the
+  baseline's by more than ``max_regress`` (default
+  :data:`~repro.harness.perfbench.DEFAULT_MAX_REGRESS` = +25%), via
+  the exact perfbench rule
+  (:func:`repro.harness.perfbench.timing_regression`).
+- **Significance gate** (``--stats``): when both sides carry samples —
+  per-seed cells in a multi-seed ledger, or per-repeat ``samples`` in
+  a schema-v3 bench report — timings are tested with a Holm-corrected
+  one-sided Mann-Whitney family
+  (:func:`repro.harness.stats.significant_slowdowns`), and a timing
+  regresses only when the slowdown is *both* statistically
+  significant *and* larger than ``max_regress`` in the means.
+  Significance weeds out within-run noise (a single jittered cell
+  can no longer fail CI); the magnitude floor weeds out
+  significant-but-ambient drift (thermal throttling or co-tenant
+  load shifts every repeat consistently, so it passes a pure
+  significance test with flying colors).  Long-term creep detection
+  belongs to the perf-trend history, not a two-point compare.  Cells
+  without enough samples
+  (:data:`~repro.harness.stats.MIN_SAMPLES_FOR_STATS` per side) fall
+  back to the threshold gate, so ``--stats`` is always safe to pass.
+
+Rate metrics (accuracy/coverage/speedup) are reported as deltas and
+flagged as anomalies when they worsen by more than ``max_metric_drop``
+(absolute), since a correctness-shaped drift deserves eyes even if no
+wall-clock moved; under ``--stats`` they additionally get p-values,
+bootstrap CIs, and Cliff's-delta effect sizes in the stats table.
 """
 
 from __future__ import annotations
 
 import json
+from collections import defaultdict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
-from .perfbench import compare_bench, timing_regression, validate_bench
+from . import stats as st
+from .perfbench import (
+    DEFAULT_MAX_REGRESS,
+    bench_samples,
+    compare_bench,
+    timing_regression,
+    validate_bench,
+)
 from .reporting import format_table
 
 #: Per-cell rate metrics diffed between two ledgers, and the timing
-#: keys checked with the perfbench regression rule.
+#: keys checked with the regression gates.
 LEDGER_RATE_METRICS = ("speedup", "accuracy", "coverage")
 LEDGER_TIMING_KEYS = ("prefetch_file_s", "replay_s")
+
+
+@dataclass(frozen=True)
+class StatRow:
+    """One statistical comparison (a cell-group × metric) for reports.
+
+    ``ci_low``/``ci_high`` bound ``mean_b - mean_a`` (bootstrap, fixed
+    seed); ``effect`` is Cliff's delta of B over A.  ``p_adjusted`` is
+    the Holm-corrected p-value when the row belonged to the regression
+    gate family, else ``None`` (informational row).
+    """
+
+    label: str
+    metric: str
+    n_a: int
+    n_b: int
+    mean_a: float
+    mean_b: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+    effect: float
+    p_adjusted: Optional[float] = None
+    significant: bool = False
 
 
 @dataclass
@@ -39,17 +94,22 @@ class CompareResult:
     #: (label, metric, value_a, value_b, delta) per compared number.
     deltas: List[Tuple[str, str, float, float, float]] = field(
         default_factory=list)
-    #: Timing regressions per the perfbench gate rule (fail CI).
+    #: Timing regressions per the active gate rule (fail CI).
     regressions: List[str] = field(default_factory=list)
     #: Non-timing drifts worth eyes (don't fail, do surface).
     anomalies: List[str] = field(default_factory=list)
+    #: Statistical rows (``--stats`` only): per cell-group × metric.
+    stats: List[StatRow] = field(default_factory=list)
+    #: "threshold", "significance", or "mixed" (some cells lacked the
+    #: samples for the significance gate and fell back).
+    gate: str = "threshold"
 
     @property
     def ok(self) -> bool:
         return not self.regressions
 
     def format(self) -> str:
-        """Printable report: delta table, then flags."""
+        """Printable report: delta table, stats table, then flags."""
         lines: List[str] = []
         if self.deltas:
             rows = [[label, metric, a, b, delta]
@@ -57,12 +117,30 @@ class CompareResult:
             lines.append(format_table(
                 ["cell", "metric", "A", "B", "delta"], rows,
                 title=f"Comparison ({self.kind})"))
+        if self.stats:
+            rows = []
+            for s in self.stats:
+                rows.append([
+                    s.label, s.metric, f"{s.n_a}/{s.n_b}", s.mean_a,
+                    s.mean_b, f"{s.p_value:.4f}",
+                    "-" if s.p_adjusted is None else f"{s.p_adjusted:.4f}",
+                    f"[{s.ci_low:+.4f}, {s.ci_high:+.4f}]",
+                    f"{s.effect:+.2f}",
+                    "SLOWER" if s.significant else ""])
+            lines.append(format_table(
+                ["cell", "metric", "n A/B", "mean A", "mean B", "p",
+                 "holm p", "CI95(B-A)", "delta", "verdict"], rows,
+                title=f"Statistical comparison (gate: {self.gate}, "
+                      f"Mann-Whitney U + Holm, seeded bootstrap)"))
         for message in self.anomalies:
             lines.append(f"ANOMALY: {message}")
         for message in self.regressions:
             lines.append(f"REGRESSION: {message}")
         if not self.regressions:
-            lines.append("No timing regressions.")
+            lines.append(
+                "No timing regressions."
+                if self.gate == "threshold"
+                else "No statistically significant timing regressions.")
         return "\n".join(lines)
 
 
@@ -92,7 +170,12 @@ def load_artifact(path) -> Tuple[str, Dict]:
         return "bench", report
     from ..obs.ledger import read_ledger
 
-    parsed = read_ledger(path)
+    try:
+        parsed = read_ledger(path)
+    except ValueError as exc:
+        raise ConfigError(
+            f"{path}: neither a perf-bench report nor a run ledger "
+            f"({exc})") from exc
     if parsed["manifest"] is None and not parsed["cells"]:
         raise ConfigError(
             f"{path}: neither a perf-bench report nor a run ledger")
@@ -106,16 +189,113 @@ def _cell_index(parsed: Dict) -> Dict[str, Dict]:
             for cell in parsed.get("cells", [])}
 
 
-def compare_ledgers(a: Dict, b: Dict, max_regress: float = 0.25,
-                    max_metric_drop: float = 0.05) -> CompareResult:
+def _group_samples(parsed: Dict) -> Dict[str, Dict[str, List[float]]]:
+    """Per-(workload:prefetcher) sample vectors pooled across seeds.
+
+    Failed cells are excluded — their zeroed placeholder metrics are
+    resilience bookkeeping, not measurements.
+    """
+    groups: Dict[str, Dict[str, List[float]]] = defaultdict(
+        lambda: defaultdict(list))
+    for cell in parsed.get("cells", []):
+        if cell.get("outcome") == "failed":
+            continue
+        label = f"{cell.get('workload', '?')}:{cell.get('prefetcher', '?')}"
+        metrics = cell.get("metrics") or {}
+        timings = cell.get("timings") or {}
+        for metric in LEDGER_RATE_METRICS:
+            if metric in metrics:
+                groups[label][metric].append(float(metrics[metric]))
+        for timing in LEDGER_TIMING_KEYS:
+            if timing in timings:
+                groups[label][timing].append(float(timings[timing]))
+    return groups
+
+
+def _stat_row(label: str, metric: str, a: Sequence[float],
+              b: Sequence[float]) -> StatRow:
+    test = st.mann_whitney_u(b, a)  # two-sided: is B shifted vs A?
+    ci_lo, ci_hi = st.bootstrap_diff_ci(b, a)
+    return StatRow(label=label, metric=metric, n_a=len(a), n_b=len(b),
+                   mean_a=float(sum(a) / len(a)),
+                   mean_b=float(sum(b) / len(b)),
+                   p_value=test.p_value, ci_low=ci_lo, ci_high=ci_hi,
+                   effect=st.cliffs_delta(b, a))
+
+
+def _apply_significance_gate(result: CompareResult,
+                             groups_a: Dict[str, Dict[str, List[float]]],
+                             groups_b: Dict[str, Dict[str, List[float]]],
+                             timing_keys: Sequence[str],
+                             rate_keys: Sequence[str],
+                             alpha: float,
+                             max_regress: float) -> set:
+    """Run the stats layer over matched cell-groups.
+
+    Returns the set of ``(label, timing)`` pairs the significance gate
+    covered; the caller falls back to the threshold rule for the rest.
+    Also fills ``result.stats`` with informational rate-metric rows.
+    """
+    gate_pairs: List[Tuple[str, List[float], List[float]]] = []
+    covered: set = set()
+    for label in sorted(set(groups_a) & set(groups_b)):
+        for timing in timing_keys:
+            a = groups_a[label].get(timing) or []
+            b = groups_b[label].get(timing) or []
+            if (len(a) >= st.MIN_SAMPLES_FOR_STATS
+                    and len(b) >= st.MIN_SAMPLES_FOR_STATS):
+                gate_pairs.append((f"{label}.{timing}", a, b))
+                covered.add((label, timing))
+        for metric in rate_keys:
+            a = groups_a[label].get(metric) or []
+            b = groups_b[label].get(metric) or []
+            if len(a) >= 2 and len(b) >= 2:
+                result.stats.append(_stat_row(label, metric, a, b))
+    if gate_pairs:
+        verdicts = st.significant_slowdowns(
+            [(label, a, b) for label, a, b in gate_pairs], alpha=alpha,
+            min_ratio=1.0 + max_regress)
+        for (label, a, b), verdict in zip(gate_pairs, verdicts):
+            group, _, timing = label.rpartition(".")
+            ci_lo, ci_hi = st.bootstrap_diff_ci(b, a)
+            result.stats.append(StatRow(
+                label=group, metric=timing, n_a=verdict.n_a,
+                n_b=verdict.n_b, mean_a=verdict.mean_a,
+                mean_b=verdict.mean_b, p_value=verdict.p_value,
+                ci_low=ci_lo, ci_high=ci_hi, effect=verdict.effect,
+                p_adjusted=verdict.p_adjusted,
+                significant=verdict.significant))
+            if verdict.significant:
+                result.regressions.append(verdict.message())
+    return covered
+
+
+def compare_ledgers(a: Dict, b: Dict,
+                    max_regress: float = DEFAULT_MAX_REGRESS,
+                    max_metric_drop: float = 0.05,
+                    use_stats: bool = False,
+                    alpha: float = st.DEFAULT_ALPHA) -> CompareResult:
     """Diff two parsed ledgers cell-by-cell.
 
     Cells are matched on their canonical key (workload, spec, seed,
     engine, hierarchy), so only like-for-like cells compare; cells
     present in only one run are reported as anomalies.
+
+    With ``use_stats``, cells sharing a (workload, prefetcher) are
+    additionally pooled across seeds into sample vectors and the
+    significance gate replaces the threshold rule wherever both sides
+    have at least :data:`~repro.harness.stats.MIN_SAMPLES_FOR_STATS`
+    samples (see module docstring).
     """
     result = CompareResult(kind="ledger")
+    covered: set = set()
+    if use_stats:
+        covered = _apply_significance_gate(
+            result, _group_samples(a), _group_samples(b),
+            LEDGER_TIMING_KEYS, LEDGER_RATE_METRICS, alpha, max_regress)
+        result.gate = "significance" if covered else "threshold"
     cells_a, cells_b = _cell_index(a), _cell_index(b)
+    fell_back = False
     for key in sorted(set(cells_a) | set(cells_b)):
         cell_a, cell_b = cells_a.get(key), cells_b.get(key)
         if cell_a is None or cell_b is None:
@@ -125,6 +305,7 @@ def compare_ledgers(a: Dict, b: Dict, max_regress: float = 0.25,
                 f"cell {missing} only present in run {which}")
             continue
         label = str(cell_b.get("cell", key))
+        group = f"{cell_b.get('workload', '?')}:{cell_b.get('prefetcher', '?')}"
         metrics_a = cell_a.get("metrics") or {}
         metrics_b = cell_b.get("metrics") or {}
         for metric in LEDGER_RATE_METRICS:
@@ -141,22 +322,74 @@ def compare_ledgers(a: Dict, b: Dict, max_regress: float = 0.25,
             old = float(timings_a.get(timing, 0.0))
             new = float(timings_b.get(timing, 0.0))
             result.deltas.append((label, timing, old, new, new - old))
+            if (group, timing) in covered:
+                continue  # the significance gate owns this timing
             message = timing_regression(f"{label}.{timing}", new, old,
                                         max_regress)
             if message is not None:
                 result.regressions.append(message)
+            if use_stats and covered:
+                fell_back = True
         if cell_b.get("outcome") != cell_a.get("outcome"):
             result.anomalies.append(
                 f"{label}.outcome: {cell_b.get('outcome')!r} vs "
                 f"{cell_a.get('outcome')!r}")
+    if use_stats and covered and fell_back:
+        result.gate = "mixed"
     return result
 
 
+def _bench_group_samples(report: Dict) -> Dict[str, Dict[str, List[float]]]:
+    """Sample vectors from a schema-v3 bench report, shaped like the
+    ledger groups: label → timing → samples."""
+    groups: Dict[str, Dict[str, List[float]]] = {}
+    baseline = bench_samples(report, "baseline_replay_s")
+    if baseline:
+        groups["baseline"] = {"replay_s": list(map(float, baseline))}
+    for name in report.get("prefetchers", {}):
+        cell: Dict[str, List[float]] = {}
+        for timing in ("prefetch_file_s", "replay_s"):
+            values = bench_samples(report, timing, prefetcher=name)
+            if values:
+                cell[timing] = list(map(float, values))
+        if cell:
+            groups[name] = cell
+    return groups
+
+
 def compare_bench_reports(a: Dict, b: Dict,
-                          max_regress: float = 0.25) -> CompareResult:
-    """Diff two perf-bench reports with the existing CI gate rule."""
+                          max_regress: float = DEFAULT_MAX_REGRESS,
+                          use_stats: bool = False,
+                          alpha: float = st.DEFAULT_ALPHA) -> CompareResult:
+    """Diff two perf-bench reports.
+
+    The threshold gate reuses the CI rule
+    (:func:`repro.harness.perfbench.compare_bench`).  With
+    ``use_stats`` and two schema-v3 reports carrying enough per-repeat
+    samples, the significance gate replaces it — including
+    ``prefetch_file_s``, which the threshold gate never dared gate
+    because single-shot timings of the dominant phase are too noisy.
+    """
     result = CompareResult(kind="bench")
-    result.regressions = list(compare_bench(b, a, max_regress=max_regress))
+    validate_bench(a)
+    validate_bench(b)
+    covered: set = set()
+    if use_stats:
+        covered = _apply_significance_gate(
+            result, _bench_group_samples(a), _bench_group_samples(b),
+            ("prefetch_file_s", "replay_s"), (), alpha, max_regress)
+        result.gate = "significance" if covered else "threshold"
+    if not covered:
+        # Threshold gate (also validates comparability).
+        result.regressions = list(
+            compare_bench(b, a, max_regress=max_regress))
+    else:
+        # The significance run still needs the comparability check.
+        for key in ("workload", "n_accesses", "seed", "budget"):
+            if a[key] != b[key]:
+                raise ConfigError(
+                    f"perf reports are not comparable: {key} differs "
+                    f"({b[key]!r} vs baseline {a[key]!r})")
     cells_a = a.get("prefetchers", {})
     for name, cell_b in b.get("prefetchers", {}).items():
         cell_a = cells_a.get(name)
@@ -174,8 +407,11 @@ def compare_bench_reports(a: Dict, b: Dict,
     return result
 
 
-def compare_artifacts(path_a, path_b, max_regress: float = 0.25,
-                      max_metric_drop: float = 0.05) -> CompareResult:
+def compare_artifacts(path_a, path_b,
+                      max_regress: float = DEFAULT_MAX_REGRESS,
+                      max_metric_drop: float = 0.05,
+                      use_stats: bool = False,
+                      alpha: float = st.DEFAULT_ALPHA) -> CompareResult:
     """Load and diff two artifacts (``repro compare``'s engine).
 
     Both must be the same kind; comparing a bench report against a
@@ -188,6 +424,8 @@ def compare_artifacts(path_a, path_b, max_regress: float = 0.25,
             f"cannot compare a {kind_a} artifact against a {kind_b} one "
             f"({path_a} vs {path_b})")
     if kind_a == "bench":
-        return compare_bench_reports(a, b, max_regress=max_regress)
+        return compare_bench_reports(a, b, max_regress=max_regress,
+                                     use_stats=use_stats, alpha=alpha)
     return compare_ledgers(a, b, max_regress=max_regress,
-                           max_metric_drop=max_metric_drop)
+                           max_metric_drop=max_metric_drop,
+                           use_stats=use_stats, alpha=alpha)

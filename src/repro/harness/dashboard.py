@@ -166,6 +166,142 @@ def _prefetcher_section(cells: List[Dict]) -> str:
                       "mean coverage", "timeliness", "issued"], rows))
 
 
+def _ranking_section(cells: List[Dict]) -> str:
+    """Prefetcher ranking by speedup, with CI whiskers + sig. groups.
+
+    Pools per-cell speedups across seeds/workloads per prefetcher and
+    runs :func:`repro.harness.stats.rank_groups` (Holm-corrected
+    all-pairs Mann-Whitney).  Prefetchers sharing a group letter are
+    *not* statistically distinguishable at α=0.05 — the table says so
+    explicitly so a reader never over-interprets a rank ordering that
+    the data cannot support.  Needs at least two prefetchers with
+    :data:`~repro.harness.stats.MIN_SAMPLES_FOR_STATS` speedup samples
+    each; otherwise the section is omitted.
+    """
+    from . import stats as st
+
+    samples: Dict[str, List[float]] = defaultdict(list)
+    for cell in cells:
+        if cell.get("outcome") == "failed":
+            continue
+        metrics = cell.get("metrics") or {}
+        if "speedup" in metrics:
+            samples[str(cell.get("prefetcher", "?"))].append(
+                float(metrics["speedup"]))
+    usable = {name: vals for name, vals in samples.items()
+              if len(vals) >= st.MIN_SAMPLES_FOR_STATS}
+    if len(usable) < 2:
+        return ""
+    entries = st.rank_groups(usable, higher_is_better=True)
+    lo = min(e.ci_low for e in entries)
+    hi = max(e.ci_high for e in entries)
+    span = (hi - lo) or 1.0
+    width, label_w, row_h, gap, pad = 640, 220, 18, 6, 60
+
+    def x(value: float) -> float:
+        return label_w + (width - label_w - pad) * (value - lo) / span
+
+    parts = [f'<svg width="{width}" '
+             f'height="{len(entries) * (row_h + gap) + gap}" role="img">']
+    for i, e in enumerate(entries):
+        y = gap + i * (row_h + gap)
+        mid = y + row_h / 2
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + row_h - 4}" '
+            f'text-anchor="end" font-size="12">{_esc(e.name)}</text>')
+        parts.append(  # CI whisker
+            f'<line x1="{x(e.ci_low):.1f}" y1="{mid:.1f}" '
+            f'x2="{x(e.ci_high):.1f}" y2="{mid:.1f}" '
+            f'stroke="#94a3b8" stroke-width="2"></line>')
+        for bound in (e.ci_low, e.ci_high):
+            parts.append(
+                f'<line x1="{x(bound):.1f}" y1="{mid - 5:.1f}" '
+                f'x2="{x(bound):.1f}" y2="{mid + 5:.1f}" '
+                f'stroke="#94a3b8" stroke-width="2"></line>')
+        parts.append(  # mean tick
+            f'<line x1="{x(e.mean):.1f}" y1="{y + 2}" '
+            f'x2="{x(e.mean):.1f}" y2="{y + row_h - 2}" '
+            f'stroke="#4361ee" stroke-width="3"></line>')
+        parts.append(
+            f'<text x="{x(e.ci_high) + 8:.1f}" y="{y + row_h - 4}" '
+            f'font-size="12">{_esc(e.group)}</text>')
+    parts.append("</svg>")
+    rows = [[e.rank, e.name, e.n, e.mean, e.ci_low, e.ci_high, e.group]
+            for e in entries]
+    return ("<h2>Prefetcher ranking (speedup)</h2>"
+            + "".join(parts)
+            + _table(["rank", "prefetcher", "n", "mean speedup",
+                      "CI95 low", "CI95 high", "group"], rows)
+            + "<p>Prefetchers sharing a group letter are not "
+              "statistically distinguishable (Holm-corrected "
+              "Mann-Whitney, &alpha;=0.05); whiskers are seeded "
+              "bootstrap 95% CIs of the mean.</p>")
+
+
+def _trend_section(history: List[Dict]) -> str:
+    """Perf-trend timeline from ``history.jsonl`` entries.
+
+    One line chart per config fingerprint with ≥2 entries, one polyline
+    per timing series (baseline replay plus each prefetcher's replay).
+    Fingerprints with a single entry render nothing — a one-point
+    trend is noise dressed as signal.
+    """
+    from .history import history_series
+
+    parts: List[str] = []
+    palette = ("#4361ee", "#e63946", "#2a9d8f", "#f4a261", "#7209b7",
+               "#588157")
+    for fingerprint, entries in sorted(history_series(history).items()):
+        if len(entries) < 2:
+            continue
+        series: Dict[str, List[float]] = defaultdict(list)
+        for entry in entries:
+            series["baseline replay"].append(
+                float(entry.get("baseline_replay_s") or 0.0))
+            for name, cell in (entry.get("prefetchers") or {}).items():
+                series[f"{name} replay"].append(
+                    float(cell.get("replay_s") or 0.0))
+        n = len(entries)
+        peak = max((max(vals) for vals in series.values()
+                    if len(vals) == n), default=0.0) or 1.0
+        width, height, pad = 640, 180, 30
+        svg = [f'<svg width="{width + 180}" height="{height}" role="img">']
+        for color_i, (name, vals) in enumerate(sorted(series.items())):
+            if len(vals) != n:
+                continue  # prefetcher lineup changed mid-series
+            color = palette[color_i % len(palette)]
+            points = " ".join(
+                f"{pad + (width - 2 * pad) * i / max(1, n - 1):.1f},"
+                f"{height - pad - (height - 2 * pad) * v / peak:.1f}"
+                for i, v in enumerate(vals))
+            svg.append(f'<polyline points="{points}" fill="none" '
+                       f'stroke="{color}" stroke-width="2"></polyline>')
+            svg.append(
+                f'<text x="{width + 6}" y="{pad + color_i * 16}" '
+                f'font-size="12" fill="{color}">{_esc(name)}</text>')
+        svg.append(
+            f'<text x="{pad}" y="{height - 8}" font-size="11">'
+            f'{_esc(entries[0].get("timestamp_utc", "?"))} &rarr; '
+            f'{_esc(entries[-1].get("timestamp_utc", "?"))} '
+            f'({n} runs, peak {_fmt(peak)}s)</text>')
+        svg.append("</svg>")
+        shas = [str((e.get("git") or {}).get("sha") or "?")[:10]
+                for e in entries]
+        rows = [[e.get("timestamp_utc", "?"), sha,
+                 e.get("baseline_replay_s", 0.0)]
+                for e, sha in zip(entries, shas)]
+        parts.append(
+            f"<h3>config <code>{_esc(fingerprint[:12])}</code> "
+            f"({_esc(entries[-1].get('workload', '?'))}, "
+            f"n={_esc(entries[-1].get('n_accesses', '?'))})</h3>"
+            + "".join(svg)
+            + _table(["timestamp (UTC)", "git", "baseline replay s"],
+                     rows))
+    if not parts:
+        return ""
+    return "<h2>Perf trend</h2>" + "".join(parts)
+
+
 def _funnel_section(events: List[Dict]) -> str:
     funnel = lifecycle_counts(events)
     if not any(funnel.values()):
@@ -256,12 +392,15 @@ def _finish_section(finish: Optional[Dict]) -> str:
 def render_dashboard(ledger: Optional[Dict] = None,
                      events: Optional[List[Dict]] = None,
                      metrics: Optional[Dict] = None,
+                     history: Optional[List[Dict]] = None,
                      title: str = "repro run dashboard") -> str:
     """Render the artifacts of one run as a single HTML document.
 
     Any subset of inputs may be ``None``; the corresponding sections
     are simply omitted.  The output embeds its own CSS and SVG — no
-    scripts, no external fetches.
+    scripts, no external fetches.  ``history`` is a list of perf-trend
+    entries (:func:`repro.harness.history.read_history`); fingerprints
+    with two or more entries render a timeline.
     """
     sections: List[str] = []
     if ledger:
@@ -271,6 +410,7 @@ def render_dashboard(ledger: Optional[Dict] = None,
         cells = ledger.get("cells") or []
         if cells:
             sections.append(_prefetcher_section(cells))
+            sections.append(_ranking_section(cells))
             sections.append(_cells_section(cells))
         experiments = ledger.get("experiments") or []
         if experiments:
@@ -285,6 +425,8 @@ def render_dashboard(ledger: Optional[Dict] = None,
     if metrics:
         sections.append(_profile_section(metrics))
         sections.append(_histogram_sections(metrics))
+    if history:
+        sections.append(_trend_section(history))
     if not any(sections):
         sections.append("<p>(no artifacts supplied)</p>")
     body = "\n".join(part for part in sections if part)
@@ -299,9 +441,11 @@ def render_dashboard(ledger: Optional[Dict] = None,
 def write_dashboard(path, ledger: Optional[Dict] = None,
                     events: Optional[List[Dict]] = None,
                     metrics: Optional[Dict] = None,
+                    history: Optional[List[Dict]] = None,
                     title: str = "repro run dashboard") -> None:
     """Render and atomically write the dashboard to ``path``."""
     from ..resilience.atomic import atomic_write_text
 
     atomic_write_text(path, render_dashboard(
-        ledger=ledger, events=events, metrics=metrics, title=title))
+        ledger=ledger, events=events, metrics=metrics, history=history,
+        title=title))

@@ -1,0 +1,139 @@
+"""Append-only perf-trend history for ``repro bench``.
+
+A single ``BENCH_perf.json`` answers "is this commit slower than the
+committed baseline?"; it cannot answer "has replay been creeping up
+for a month?".  Every ``repro bench`` run appends one compact JSONL
+entry to ``benchmarks/perf/history.jsonl`` — keyed by a **config
+fingerprint** (workload, trace length, seed, budget, prefetcher
+lineup, engine) so entries from different experiments never get
+charted against each other — and the HTML dashboard renders a
+perf-trend timeline per fingerprint once two or more entries exist.
+
+Entries carry the headline timings plus the git SHA and UTC timestamp
+of the run; the full per-repeat samples stay in the bench report (the
+history is the *trend* view, not the archive).  The file is plain
+append (one ``write()`` of one line), and :func:`read_history`
+tolerates a torn trailing line, mirroring the run ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ConfigError
+from ..obs.ledger import config_fingerprint, git_state
+
+#: Where ``repro bench`` appends by default (repo-relative).
+DEFAULT_HISTORY_PATH = Path("benchmarks/perf") / "history.jsonl"
+
+#: Bump when the entry layout changes incompatibly.
+HISTORY_SCHEMA = 1
+
+
+def bench_fingerprint(report: Dict) -> str:
+    """The config fingerprint keying a report's history series.
+
+    Two entries share a fingerprint exactly when their timings are
+    comparable: same workload, trace length, seed, budget, prefetcher
+    lineup, and replay engine.
+    """
+    return config_fingerprint({
+        "workload": report.get("workload"),
+        "n_accesses": report.get("n_accesses"),
+        "seed": report.get("seed"),
+        "budget": report.get("budget"),
+        "prefetchers": sorted(report.get("prefetchers") or {}),
+        "replay_engine": report.get("replay_engine"),
+    })
+
+
+def history_entry(report: Dict,
+                  run_id: Optional[str] = None) -> Dict[str, object]:
+    """One history line for a validated bench report."""
+    prefetchers = {
+        name: {key: cell[key] for key in
+               ("prefetch_file_s", "replay_s", "replay_speedup", "speedup")}
+        for name, cell in (report.get("prefetchers") or {}).items()}
+    entry: Dict[str, object] = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "fingerprint": bench_fingerprint(report),
+        "git": git_state(),
+        "bench_schema_version": report.get("schema_version"),
+        "workload": report.get("workload"),
+        "n_accesses": report.get("n_accesses"),
+        "seed": report.get("seed"),
+        "budget": report.get("budget"),
+        "repeats": report.get("repeats"),
+        "trace_gen_s": report.get("trace_gen_s"),
+        "baseline_replay_s": report.get("baseline_replay_s"),
+        "prefetchers": prefetchers,
+    }
+    if run_id is not None:
+        entry["run_id"] = run_id
+    return entry
+
+
+def append_history(report: Dict, path: Union[str, Path],
+                   run_id: Optional[str] = None) -> Dict[str, object]:
+    """Append one entry for ``report`` to the history file.
+
+    Creates the file (and parents) on first use.  Returns the entry
+    written.  Raises :class:`~repro.errors.ConfigError` on I/O
+    failure — callers (the CLI) degrade this to a warning, the same
+    policy as the run ledger.
+    """
+    entry = history_entry(report, run_id=run_id)
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    except OSError as exc:
+        raise ConfigError(f"cannot append perf history {path}: {exc}") from exc
+    return entry
+
+
+def read_history(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a history file into entry dicts, in file (= time) order.
+
+    Tolerates one torn trailing line (crash mid-append); corruption
+    anywhere else raises :class:`~repro.errors.ConfigError`.  Unknown
+    future fields pass through untouched.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise ConfigError(f"cannot read perf history {path}: {exc}") from exc
+    last_payload_lineno = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0)
+    entries: List[Dict[str, object]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == last_payload_lineno:
+                break  # torn tail: drop it, keep the parsed prefix
+            raise ConfigError(
+                f"{path}:{lineno}: corrupt history line ({exc})") from None
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def history_series(entries: List[Dict[str, object]]
+                   ) -> Dict[str, List[Dict[str, object]]]:
+    """Group history entries by config fingerprint, preserving order."""
+    series: Dict[str, List[Dict[str, object]]] = {}
+    for entry in entries:
+        series.setdefault(str(entry.get("fingerprint", "?")),
+                          []).append(entry)
+    return series

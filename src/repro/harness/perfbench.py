@@ -45,8 +45,22 @@ from .runner import default_hierarchy, make_prefetcher
 #: Bump when the report layout changes incompatibly.
 #: v2 added dual-engine replay timings (``replay_reference_s``,
 #: ``replay_speedup``, ``baseline_replay_reference_s``,
-#: ``replay_engine``).
-SCHEMA_VERSION = 2
+#: ``replay_engine``); v3 added per-repeat timing ``samples`` (top
+#: level and per prefetcher) so the compare layer can run
+#: significance tests instead of the blind threshold gate.
+SCHEMA_VERSION = 3
+
+#: Versions :func:`validate_bench` accepts.  v2 reports (no samples)
+#: still load and compare under the threshold gate — committed
+#: baselines must not be invalidated by a schema bump.
+SUPPORTED_SCHEMA_VERSIONS = (2, 3)
+
+#: The single fractional timing-regression threshold (+25%) shared by
+#: ``repro compare``, ``repro bench --baseline`` / ``validate.py``,
+#: and the CI gate.  Used only when per-repeat/per-seed samples are
+#: unavailable; with samples, the significance gate in
+#: :mod:`repro.harness.stats` replaces it.
+DEFAULT_MAX_REGRESS = 0.25
 
 #: The default lineup: the cheap table prefetchers bracket PATHFINDER
 #: so a regression report localises the slowdown to one pipeline.
@@ -117,7 +131,7 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
 
     per_prefetcher: Dict[str, Dict] = {}
     for name in prefetchers:
-        best: Dict[str, float] = {}
+        samples: Dict[str, list] = {key: [] for key in _PHASE_KEYS}
         result = None
         for _ in range(repeats):
             # A fresh prefetcher per repeat: learning state must not
@@ -135,9 +149,9 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
                 raise SimulationError(
                     f"engine parity violation replaying {name!r}")
             for key in _PHASE_KEYS:
-                best[key] = (timings[key] if key not in best
-                             else min(best[key], timings[key]))
+                samples[key].append(timings[key])
         assert result is not None
+        best = {key: min(samples[key]) for key in _PHASE_KEYS}
         per_prefetcher[name] = {
             "prefetch_file_s": best["prefetch_file_s"],
             "replay_s": best["replay_s"],
@@ -148,6 +162,9 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
             "accuracy": result.accuracy(),
             "coverage": result.coverage(baseline.llc_misses),
             "issued": result.pf_issued,
+            #: v3: raw per-repeat wall times behind every headline min,
+            #: the inputs to the compare layer's significance gate.
+            "samples": samples,
         }
 
     return {
@@ -168,22 +185,43 @@ def run_bench(prefetchers: Sequence[str] = DEFAULT_PREFETCHERS,
         "trace_gen_s": min(trace_gen_s),
         "baseline_replay_s": min(baseline_fast_s),
         "baseline_replay_reference_s": min(baseline_ref_s),
+        #: v3: per-repeat samples behind the top-level minima.
+        "samples": {
+            "trace_gen_s": trace_gen_s,
+            "baseline_replay_s": baseline_fast_s,
+            "baseline_replay_reference_s": baseline_ref_s,
+        },
         "prefetchers": per_prefetcher,
     }
 
 
+def _validate_samples(samples: object, keys: Sequence[str],
+                      repeats: int, where: str) -> None:
+    if not isinstance(samples, dict):
+        raise ConfigError(f"perf report {where} 'samples' must be an object")
+    for key in keys:
+        values = samples.get(key)
+        if (not isinstance(values, list) or len(values) != repeats
+                or any(not isinstance(v, (int, float)) or v < 0
+                       for v in values)):
+            raise ConfigError(
+                f"perf report {where} samples[{key!r}] must be "
+                f"{repeats} non-negative number(s)")
+
+
 def validate_bench(report: Dict) -> None:
     """Raise :class:`ConfigError` unless ``report`` is a well-formed
-    perf report this code can compare against."""
+    perf report this code can compare against (schema v2 or v3; v3
+    additionally requires per-repeat timing samples)."""
     if not isinstance(report, dict):
         raise ConfigError("perf report must be a JSON object")
     missing = [key for key in _REQUIRED_TOP if key not in report]
     if missing:
         raise ConfigError(f"perf report missing keys: {missing}")
-    if report["schema_version"] != SCHEMA_VERSION:
+    if report["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
         raise ConfigError(
-            f"perf report schema_version {report['schema_version']!r} != "
-            f"supported {SCHEMA_VERSION}")
+            f"perf report schema_version {report['schema_version']!r} not in "
+            f"supported {SUPPORTED_SCHEMA_VERSIONS}")
     if report["replay_engine"] not in ("fast", "reference"):
         raise ConfigError(
             f"perf report replay_engine {report['replay_engine']!r} unknown")
@@ -192,6 +230,15 @@ def validate_bench(report: Dict) -> None:
         value = report[key]
         if not isinstance(value, (int, float)) or value < 0:
             raise ConfigError(f"perf report {key} must be non-negative")
+    has_samples = report["schema_version"] >= 3
+    repeats = report.get("repeats")
+    if has_samples:
+        if not isinstance(repeats, int) or repeats < 1:
+            raise ConfigError("perf report repeats must be a positive int")
+        _validate_samples(report.get("samples"),
+                          ("trace_gen_s", "baseline_replay_s",
+                           "baseline_replay_reference_s"),
+                          repeats, "top-level")
     cells = report["prefetchers"]
     if not isinstance(cells, dict) or not cells:
         raise ConfigError("perf report needs a non-empty 'prefetchers' map")
@@ -207,10 +254,30 @@ def validate_bench(report: Dict) -> None:
             if key not in cell:
                 raise ConfigError(
                     f"perf report entry {name!r} missing {key!r}")
+        if has_samples:
+            _validate_samples(cell.get("samples"), _PHASE_KEYS, repeats,
+                              f"entry {name!r}")
+
+
+def bench_samples(report: Dict, timing: str,
+                  prefetcher: Optional[str] = None) -> Optional[list]:
+    """The per-repeat sample list behind a headline timing, or ``None``
+    for schema-v2 reports that never recorded samples.
+
+    ``prefetcher=None`` selects a top-level timing (``trace_gen_s`` /
+    ``baseline_replay_s`` / ``baseline_replay_reference_s``).
+    """
+    if report.get("schema_version", 0) < 3:
+        return None
+    if prefetcher is None:
+        return (report.get("samples") or {}).get(timing)
+    cell = (report.get("prefetchers") or {}).get(prefetcher) or {}
+    return (cell.get("samples") or {}).get(timing)
 
 
 def timing_regression(label: str, new: float, old: float,
-                      max_regress: float = 0.25) -> Optional[str]:
+                      max_regress: float = DEFAULT_MAX_REGRESS
+                      ) -> Optional[str]:
     """The single timing-regression rule shared by the bench gate and
     ``repro compare``: flag when ``new`` exceeds ``old`` by more than
     ``max_regress`` (fractional, e.g. ``0.25`` = +25%).
@@ -227,7 +294,8 @@ def timing_regression(label: str, new: float, old: float,
 
 
 def compare_bench(report: Dict, baseline: Dict,
-                  max_regress: float = 0.25) -> Sequence[str]:
+                  max_regress: float = DEFAULT_MAX_REGRESS
+                  ) -> Sequence[str]:
     """Compare a fresh report's fast-engine replay times to a baseline.
 
     Returns a list of human-readable regression messages (empty =

@@ -593,7 +593,13 @@ class Evaluation:
 
 @dataclass(frozen=True)
 class SeedAggregate:
-    """Across-seed statistics for one (workload, prefetcher) cell."""
+    """Across-seed statistics for one (workload, prefetcher) cell.
+
+    ``speedups`` retains the raw per-seed values (in seed order) so
+    downstream consumers — significance tests, bootstrap CIs, the
+    dashboard's ranking whiskers — can work from samples instead of
+    the lossy mean/stdev summary.
+    """
 
     workload: str
     prefetcher: str
@@ -602,6 +608,7 @@ class SeedAggregate:
     mean_accuracy: float
     mean_coverage: float
     seeds: int
+    speedups: Tuple[float, ...] = ()
 
 
 def multi_seed_grid(workloads: Sequence[str],
@@ -653,5 +660,6 @@ def multi_seed_grid(workloads: Sequence[str],
                          if len(speedups) > 1 else 0.0),
             mean_accuracy=statistics.fmean(r.accuracy for r in rows),
             mean_coverage=statistics.fmean(r.coverage for r in rows),
-            seeds=len(seeds)))
+            seeds=len(seeds),
+            speedups=tuple(speedups)))
     return aggregates

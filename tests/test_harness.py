@@ -189,6 +189,10 @@ def test_multi_seed_grid_aggregation_math():
     assert agg.mean_coverage == pytest.approx(
         statistics.fmean(r.coverage for r in rows))
     assert agg.seeds == len(seeds)
+    # Raw per-seed samples are retained (in seed order) so downstream
+    # significance tests never have to re-run the grid.
+    assert agg.speedups == pytest.approx(tuple(speedups))
+    assert isinstance(agg.speedups, tuple)
 
 
 def test_multi_seed_grid_single_seed_has_zero_std():

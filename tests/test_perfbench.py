@@ -5,6 +5,8 @@ import pytest
 from repro.errors import ConfigError
 from repro.harness.perfbench import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    bench_samples,
     compare_bench,
     load_bench,
     run_bench,
@@ -34,6 +36,57 @@ def test_report_is_valid_and_complete(report):
         assert cell["replay_speedup"] > 0.0
         assert cell["speedup"] > 0.0
         assert cell["issued"] >= 0
+
+
+def test_v3_reports_carry_per_repeat_samples(report):
+    assert report["schema_version"] == 3
+    for key in ("trace_gen_s", "baseline_replay_s",
+                "baseline_replay_reference_s"):
+        samples = report["samples"][key]
+        assert len(samples) == report["repeats"]
+        assert min(samples) == report[key]
+    for cell in report["prefetchers"].values():
+        for key in ("prefetch_file_s", "replay_s", "replay_reference_s"):
+            samples = cell["samples"][key]
+            assert len(samples) == report["repeats"]
+            assert min(samples) == cell[key]
+
+
+def test_bench_samples_accessor(report):
+    assert bench_samples(report, "baseline_replay_s") == \
+        report["samples"]["baseline_replay_s"]
+    assert bench_samples(report, "replay_s", prefetcher="nextline") == \
+        report["prefetchers"]["nextline"]["samples"]["replay_s"]
+    assert bench_samples(report, "replay_s", prefetcher="nope") is None
+
+
+def _as_v2(report):
+    """Strip a v3 report down to the schema-v2 layout."""
+    import copy
+
+    v2 = copy.deepcopy(report)
+    v2["schema_version"] = 2
+    v2.pop("samples")
+    for cell in v2["prefetchers"].values():
+        cell.pop("samples")
+    return v2
+
+
+def test_schema_v2_reports_still_validate_and_compare(report):
+    """Committed baselines predating the samples field must not break."""
+    assert set(SUPPORTED_SCHEMA_VERSIONS) == {2, 3}
+    v2 = _as_v2(report)
+    validate_bench(v2)
+    assert compare_bench(report, v2) == []  # v3 vs v2 baseline
+    assert bench_samples(v2, "baseline_replay_s") is None
+    assert bench_samples(v2, "replay_s", prefetcher="nextline") is None
+
+
+def test_schema_v2_round_trips_through_disk(report, tmp_path):
+    path = tmp_path / "bench_v2.json"
+    v2 = _as_v2(report)
+    save_bench(v2, path)
+    assert load_bench(path) == v2
 
 
 def test_report_round_trips_through_disk(report, tmp_path):
@@ -73,6 +126,14 @@ def test_bad_arguments_rejected():
     lambda r: r["prefetchers"]["nextline"].pop("replay_speedup"),
     lambda r: r["prefetchers"]["nextline"].update(prefetch_file_s=-1.0),
     lambda r: r["prefetchers"]["nextline"].pop("speedup"),
+    # v3: samples are mandatory and must match ``repeats``.
+    lambda r: r.pop("samples"),
+    lambda r: r["samples"].update(trace_gen_s=[]),
+    lambda r: r["samples"]["baseline_replay_s"].append(0.1),
+    lambda r: r["prefetchers"]["nextline"].pop("samples"),
+    lambda r: r["prefetchers"]["nextline"]["samples"].update(
+        replay_s=[-0.5]),
+    lambda r: r.update(repeats="three"),
 ])
 def test_validate_rejects_malformed_reports(report, mutate):
     import copy
