@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Break PATHFINDER prefetch-file generation into hot-path buckets.
+
+Times one instrumented *scalar* run (the parity oracle) and reports
+where ``prefetch_file_s`` goes:
+
+- **encode** — pixel-matrix encoding (``encode_history_sparse``),
+  including the LRU memo hits and misses;
+- **rank** — the SNN one-tick drive/winner computation;
+- **stdp** — the fused winner-column STDP + theta update share of the
+  SNN query (estimated by replaying the recorded query stream on a
+  fresh network with and without learning and scaling the measured
+  query bucket by the difference);
+- **table-lookup** — Training-Table bookkeeping plus Inference-Table
+  observe/predict;
+- **driver/other** — everything else (trace columns, the chunk loop,
+  prefetch-address composition).
+
+The batched pipeline fuses these stages (one compiled window call per
+chunk), so the scalar breakdown is the *why* behind the batched
+numbers; the script prints the batched wall time alongside for the
+speedup headline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py \
+        [--workload cc-5] [--loads 20000] [--budget 2]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.runner import make_prefetcher  # noqa: E402
+from repro.prefetchers.base import Prefetcher, generate_prefetches  # noqa: E402
+from repro.traces import make_trace  # noqa: E402
+
+
+class Bucket:
+    """Accumulated wall time + call count for one pipeline stage."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self):
+        self.seconds = 0.0
+        self.calls = 0
+
+
+def wrap(obj, name, bucket):
+    """Replace ``obj.name`` with a timing wrapper feeding ``bucket``."""
+    inner = getattr(obj, name)
+
+    def timed(*args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return inner(*args, **kwargs)
+        finally:
+            bucket.seconds += time.perf_counter() - t0
+            bucket.calls += 1
+
+    setattr(obj, name, timed)
+
+
+def stdp_fraction(queries) -> float:
+    """Share of SNN-query time spent on STDP + theta updates.
+
+    Replays the recorded (active, learn) query stream on two fresh
+    networks — learning as recorded vs. forced off — and returns the
+    relative difference.  The learning-off replay's winners diverge
+    after the first update, but the per-query arithmetic is the same
+    shape, which is what the estimate needs.
+    """
+    def replay(learn_on: bool) -> float:
+        net = make_prefetcher("pathfinder").network
+        t0 = time.perf_counter()
+        for active, learn in queries:
+            net.present_one_tick(None, learn=(learn and learn_on),
+                                 active=active, binary=True)
+        return time.perf_counter() - t0
+
+    with_learning = replay(True)
+    without = replay(False)
+    if with_learning <= 0.0:
+        return 0.0
+    return max(0.0, (with_learning - without) / with_learning)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Profile PATHFINDER's prefetch-file hot path")
+    parser.add_argument("--workload", default="cc-5")
+    parser.add_argument("--loads", type=int, default=20_000)
+    parser.add_argument("--budget", type=int, default=2)
+    args = parser.parse_args()
+
+    trace = make_trace(args.workload, args.loads)
+
+    # Production (batched) wall time first, untouched by wrappers.
+    pf = make_prefetcher("pathfinder")
+    t0 = time.perf_counter()
+    generate_prefetches(pf, trace, args.budget)
+    batched_s = time.perf_counter() - t0
+
+    # Instrumented scalar oracle run.
+    pf = make_prefetcher("pathfinder")
+    buckets = {name: Bucket()
+               for name in ("encode", "snn-query", "table-lookup")}
+    wrap(pf.encoder, "encode_history_sparse", buckets["encode"])
+    for name in ("lookup", "insert", "record_delta"):
+        wrap(pf.training_table, name, buckets["table-lookup"])
+    for name in ("observe", "predict"):
+        wrap(pf.inference_table, name, buckets["table-lookup"])
+
+    queries = []
+    inner_run = pf._run_network
+
+    def run_network(rates, learn, active=None):
+        queries.append((active, learn))
+        t0 = time.perf_counter()
+        try:
+            return inner_run(rates, learn, active=active)
+        finally:
+            buckets["snn-query"].seconds += time.perf_counter() - t0
+            buckets["snn-query"].calls += 1
+
+    pf._run_network = run_network
+    # Route through the scalar per-access loop: the buckets above are
+    # the scalar pipeline's seams (the batched path fuses them).
+    pf.process_batch = (
+        lambda a, p, i: Prefetcher.process_batch(pf, a, p, i))
+
+    t0 = time.perf_counter()
+    generate_prefetches(pf, trace, args.budget)
+    scalar_s = time.perf_counter() - t0
+
+    snn = buckets.pop("snn-query")
+    fraction = stdp_fraction(queries)
+    rows = [
+        ("encode", buckets["encode"].calls, buckets["encode"].seconds),
+        ("rank", snn.calls, snn.seconds * (1.0 - fraction)),
+        ("stdp", snn.calls, snn.seconds * fraction),
+        ("table-lookup", buckets["table-lookup"].calls,
+         buckets["table-lookup"].seconds),
+    ]
+    accounted = sum(seconds for _, _, seconds in rows)
+    rows.append(("driver/other", len(trace),
+                 max(0.0, scalar_s - accounted)))
+
+    print(f"workload={args.workload} loads={args.loads} "
+          f"budget={args.budget}")
+    print(f"scalar prefetch_file_s:  {scalar_s:.4f} (instrumented)")
+    print(f"batched prefetch_file_s: {batched_s:.4f} "
+          f"({scalar_s / batched_s:.2f}x vs instrumented scalar)")
+    print(f"encoder cache hits/misses: {pf.encoder.cache_hits}"
+          f"/{pf.encoder.cache_misses}")
+    print()
+    print(f"{'bucket':<14} {'calls':>8} {'seconds':>9} {'share':>7}")
+    for name, calls, seconds in rows:
+        print(f"{name:<14} {calls:>8} {seconds:>9.4f} "
+              f"{seconds / scalar_s:>6.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ Per demand load, PATHFINDER:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional
 
 import numpy as np
@@ -37,7 +38,7 @@ from ..types import (
 from .config import PathfinderConfig
 from .inference_table import InferenceTable
 from .pixel import PixelMatrixEncoder
-from .training_table import TrainingTable
+from .training_table import TrainingEntry, TrainingTable
 
 
 class PathfinderPrefetcher(Prefetcher):
@@ -235,6 +236,202 @@ class PathfinderPrefetcher(Prefetcher):
                 addresses.append(page_base | (target << BLOCK_BITS))
         self.prefetches_emitted += len(addresses)
         return addresses
+
+    def process_batch(self, addresses, pcs, instr_ids) -> List[List[int]]:
+        """Columnar form of :meth:`process` over a trace chunk.
+
+        Three passes (docs/architecture.md, "Batched columnar
+        pipeline"):
+
+        1. **Table pass** — vectorized page/offset math, then a tight
+           sequential walk over the chunk doing the Training-Table
+           bookkeeping and pixel-encoder lookups, queueing one *op*
+           per Inference-Table interaction.  SNN winners for queries
+           inside the chunk are not known yet, so an observe against a
+           not-yet-run query records a placeholder token resolved in
+           pass 3.
+        2. **SNN pass** — all queued queries run through
+           :meth:`~repro.snn.network.DiehlCookNetwork.present_one_tick_window`
+           (the compiled window kernel) in one call.
+        3. **Predict pass** — replays the queued ops in program order
+           against the Inference Table: observes, winner recording,
+           prediction lookup, and prefetch-address composition.
+
+        The sequential-dependency boundaries are exact: every state
+        update (STDP/theta inside the SNN window, table mutations
+        here) happens in the same order as the scalar path, so results
+        are bit-identical — the parity suite drives both paths across
+        chunk sizes including 1.
+
+        Falls back to the scalar loop whenever the one-tick fast path
+        does not apply, a :class:`SpikeMonitor` is armed (it needs
+        per-query :class:`RunRecord`\\ s), or a fault plan is active
+        (the per-query fault hooks must fire).
+        """
+        from ..resilience import faults
+
+        cfg = self.config
+        net = self.network
+        if (not cfg.one_tick or not net.fast or self.monitor is not None
+                or faults.ACTIVE is not None):
+            return Prefetcher.process_batch(self, addresses, pcs, instr_ids)
+
+        addresses = np.asarray(addresses)
+        n = len(addresses)
+        pages_l = (addresses >> PAGE_BITS).tolist()
+        offsets_l = ((addresses >> BLOCK_BITS)
+                     & (BLOCKS_PER_PAGE - 1)).tolist()
+        pcs_l = np.asarray(pcs).tolist()
+
+        tt = self.training_table
+        rows = tt._rows
+        rows_get = rows.get
+        move_end = rows.move_to_end
+        capacity = tt.capacity
+        history = tt.history
+        bound = cfg.max_delta
+        cold_pages = cfg.cold_page_encoding
+        epoch = cfg.stdp_epoch
+        on_accesses = cfg.stdp_on_accesses
+        encode_key = self.encoder.encode_padded_key
+        enc_cache_get = self.encoder._cache.get
+        enc_cache_move = self.encoder._cache.move_to_end
+        enc_hits = 0
+        clip = self.encoder._clip
+        zero_pads = tuple((0,) * k for k in range(history))
+        seen = self.accesses_seen
+
+        # Pass 1: tables + encoding.  ``ops`` preserves program order:
+        # (access_idx, entry, query_idx, offset, page) queries and
+        # (fired_or_token, delta) observes.  A negative ``fired`` is a
+        # placeholder for an in-chunk query's winner.
+        results: List[Optional[List[int]]] = [None] * n
+        ops: List[tuple] = []
+        query_actives: List[np.ndarray] = []
+        query_learns: List[bool] = []
+        for i in range(n):
+            seen += 1
+            page = pages_l[i]
+            offset = offsets_l[i]
+            key = (pcs_l[i], page)
+            entry = rows_get(key)
+            if entry is None:
+                if len(rows) >= capacity:
+                    rows.popitem(last=False)
+                    tt.evictions += 1
+                entry = TrainingEntry(last_offset=offset,
+                                      deltas=deque(maxlen=history))
+                rows[key] = entry
+                if not cold_pages:
+                    entry.fired_neuron = None
+                    continue
+                padded = (clip(offset),) + zero_pads[history - 1]
+            else:
+                move_end(key)
+                delta = offset - entry.last_offset
+                entry.last_offset = offset
+                if delta == 0:
+                    continue
+                if not -bound <= delta <= bound:
+                    entry.deltas.clear()
+                    entry.fired_neuron = None
+                    continue
+                fired = entry.fired_neuron
+                if fired is not None:
+                    ops.append((fired, delta))
+                d = entry.deltas
+                d.append(delta)
+                pad = len(d)
+                if pad >= history:
+                    padded = tuple(d)
+                elif not cold_pages:
+                    entry.fired_neuron = None
+                    continue
+                else:
+                    padded = zero_pads[history - pad] + tuple(d)
+            encoding = enc_cache_get(padded)
+            if encoding is None:
+                encoding = encode_key(padded)
+            else:
+                enc_cache_move(padded)
+                enc_hits += 1
+            learn = (True if epoch is None
+                     else (seen % epoch) < on_accesses)
+            qidx = len(query_actives)
+            query_actives.append(encoding.active)
+            query_learns.append(learn)
+            entry.fired_neuron = -qidx - 1
+            ops.append((i, entry, qidx, offset, page))
+        self.accesses_seen = seen
+        self.encoder.cache_hits += enc_hits
+
+        # Pass 2: one batched SNN window for every queued query.
+        if query_actives:
+            winners = net.present_one_tick_window(query_actives,
+                                                  query_learns)
+            self.snn_queries += len(query_actives)
+            self.stdp_updates += sum(query_learns)
+            # Weight repairs are unreachable here (no fault plan is
+            # armed and the arithmetic preserves finiteness), but keep
+            # the drain so the counters can never silently diverge.
+            for neuron in net.drain_repaired_neurons():
+                self.inference_table.reset_neuron(neuron)
+                self.neuron_repairs += 1
+        else:
+            winners = []
+
+        # Pass 3: replay table interactions in program order.  Observe
+        # ops are 2-tuples, query ops 5-tuples; the prediction ranking
+        # of :meth:`InferenceTable.predict` is inlined (same stable
+        # two-slot comparison, then threshold filter + dedup + degree
+        # cut in the scalar caller's exact order).
+        it = self.inference_table
+        observe = it.observe
+        slots_all = it._slots
+        threshold = cfg.confidence_threshold
+        degree = cfg.degree
+        emitted = 0
+        for op in ops:
+            if len(op) == 2:
+                fired, delta = op
+                if fired < 0:
+                    fired = winners[-fired - 1]
+                observe(fired, delta)
+                continue
+            i, entry, qidx, offset, page = op
+            winner = winners[qidx]
+            # Only resolve the placeholder if a later access didn't
+            # already clear or re-query this stream.
+            if entry.fired_neuron == -qidx - 1:
+                entry.fired_neuron = winner
+            predictions: List[int] = []
+            ranked = slots_all[winner]
+            if ranked:
+                if len(ranked) == 2:
+                    if ranked[1].confidence > ranked[0].confidence:
+                        ranked = (ranked[1], ranked[0])
+                elif len(ranked) > 2:
+                    ranked = sorted(ranked, key=lambda s: -s.confidence)
+                for slot in ranked:
+                    if slot.confidence >= threshold:
+                        label = slot.label
+                        if label not in predictions:
+                            predictions.append(label)
+                        if len(predictions) >= degree:
+                            break
+            entry.predicted = tuple(predictions)
+            if predictions:
+                addrs: List[int] = []
+                page_base = page << PAGE_BITS
+                for label in predictions:
+                    target = offset + label
+                    if 0 <= target < BLOCKS_PER_PAGE:
+                        addrs.append(page_base
+                                     | (target << BLOCK_BITS))
+                emitted += len(addrs)
+                results[i] = addrs
+        self.prefetches_emitted += emitted
+        return [r if r is not None else [] for r in results]
 
     def _drain_repairs(self) -> None:
         """Propagate SNN weight repairs into the inference table.

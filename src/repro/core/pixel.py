@@ -238,7 +238,17 @@ class PixelMatrixEncoder:
             padded = [self._clip(first_offset)] + [0] * (self._height - 1)
         else:
             padded = [0] * (self._height - len(clipped)) + clipped
-        key = tuple(padded)
+        return self.encode_padded_key(tuple(padded))
+
+    def encode_padded_key(self, key: Tuple[int, ...]) -> SparseEncoding:
+        """Cache-first encoding of an already-padded, in-range key.
+
+        The batched PATHFINDER pass builds the padded history key
+        itself (its deltas are in range by construction, so the
+        clipping pass of :meth:`encode_history_sparse` is a no-op) and
+        calls this directly; both entry points share the one cache, so
+        scalar and batched runs hit the same memo table.
+        """
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -250,7 +260,7 @@ class PixelMatrixEncoder:
         # sorted unique support.
         active = np.concatenate(
             [self._row_tables[row][delta + self._center]
-             for row, delta in enumerate(padded)])
+             for row, delta in enumerate(key)])
         rates = np.zeros(self.n_input, dtype=float)
         rates[active] = 1.0
         rates.setflags(write=False)

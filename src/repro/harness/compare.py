@@ -390,6 +390,32 @@ def compare_bench_reports(a: Dict, b: Dict,
                 raise ConfigError(
                     f"perf reports are not comparable: {key} differs "
                     f"({b[key]!r} vs baseline {a[key]!r})")
+        # Threshold fallback for replay timings the significance gate
+        # could not cover (insufficient samples on one side — e.g. a
+        # v3 report compared against a low-repeat baseline).  Mirrors
+        # compare_ledgers' per-pair fallback; prefetch_file_s stays
+        # significance-only because its single-shot minima are too
+        # noisy for the raw threshold rule.
+        fell_back = False
+        if ("baseline", "replay_s") not in covered:
+            message = timing_regression(
+                "baseline_replay_s", float(b["baseline_replay_s"]),
+                float(a["baseline_replay_s"]), max_regress)
+            if message is not None:
+                result.regressions.append(message)
+            fell_back = True
+        for name, cell_b in b.get("prefetchers", {}).items():
+            cell_a = a.get("prefetchers", {}).get(name)
+            if cell_a is None or (name, "replay_s") in covered:
+                continue
+            message = timing_regression(
+                f"{name}.replay_s", float(cell_b["replay_s"]),
+                float(cell_a["replay_s"]), max_regress)
+            if message is not None:
+                result.regressions.append(message)
+            fell_back = True
+        if fell_back:
+            result.gate = "mixed"
     cells_a = a.get("prefetchers", {})
     for name, cell_b in b.get("prefetchers", {}).items():
         cell_a = cells_a.get(name)

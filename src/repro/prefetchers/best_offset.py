@@ -120,6 +120,71 @@ class BestOffsetPrefetcher(Prefetcher):
                 addresses.append(target << 6)
         return addresses
 
+    def process_batch(self, addresses, pcs, instr_ids) -> List[List[int]]:
+        """Chunked form: columnar block math, then a hoisted-local walk.
+
+        The learning automaton is inherently sequential (each access
+        can flip ``best_offset`` for the next one), so the chunk win
+        comes from one vectorized block extraction and keeping the
+        tables/counters in locals instead of attribute lookups.
+        Mirrors :meth:`process` exactly, including the phase-finish
+        ordering of :meth:`_test_candidate`.
+        """
+        import numpy as np
+
+        cfg = self.config
+        offsets = cfg.offsets
+        last_index = len(offsets) - 1
+        score_max = cfg.score_max
+        max_rounds = cfg.max_rounds
+        rr_size = cfg.recent_requests_size
+        degree = cfg.degree
+        recent = self._recent
+        recent_move = recent.move_to_end
+        recent_pop = recent.popitem
+        scores = self._scores
+        index = self._candidate_index
+        rnd = self._round
+        best = self.best_offset
+        results: List[List[int]] = []
+        append = results.append
+        for block in (np.asarray(addresses) >> 6).tolist():
+            offset = offsets[index]
+            finished = False
+            if (block - offset) in recent:
+                score = scores[offset] + 1
+                scores[offset] = score
+                if score >= score_max:
+                    finished = True
+            if not finished:
+                if index == last_index:
+                    index = 0
+                    rnd += 1
+                    if rnd >= max_rounds:
+                        finished = True
+                else:
+                    index += 1
+            if finished:
+                best = max(scores, key=scores.get)
+                scores = dict.fromkeys(offsets, 0)
+                index = 0
+                rnd = 0
+            recent[block] = None
+            recent_move(block)
+            if len(recent) > rr_size:
+                recent_pop(last=False)
+            addrs: List[int] = []
+            for i in range(1, degree + 1):
+                target = block + best * i
+                if target > 0:
+                    addrs.append(target << 6)
+            append(addrs)
+        self._scores = scores
+        self._candidate_index = index
+        self._round = rnd
+        self.best_offset = best
+        return results
+
     def reset(self) -> None:
         self.best_offset = 1
         self._scores = {o: 0 for o in self.config.offsets}

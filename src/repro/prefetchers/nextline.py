@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..types import BLOCK_SIZE, MemoryAccess, block_address
 from .base import Prefetcher
@@ -22,3 +24,10 @@ class NextLinePrefetcher(Prefetcher):
     def process(self, access: MemoryAccess) -> List[int]:
         base = block_address(access.address)
         return [base + BLOCK_SIZE * i for i in range(1, self.degree + 1)]
+
+    def process_batch(self, addresses, pcs, instr_ids) -> List[List[int]]:
+        # Stateless, so the whole chunk is one broadcast: an
+        # (n, degree) matrix of block-aligned successors.
+        bases = (np.asarray(addresses) >> 6) << 6
+        steps = np.arange(1, self.degree + 1, dtype=bases.dtype) * BLOCK_SIZE
+        return (bases[:, None] + steps[None, :]).tolist()

@@ -74,6 +74,45 @@ class SISBPrefetcher(Prefetcher):
             cursor = nxt
         return addresses
 
+    def process_batch(self, addresses, pcs, instr_ids) -> List[List[int]]:
+        """Chunked form: columnar block/stream extraction, hoisted walk.
+
+        Successor-chain updates are order-dependent (an access can
+        record the link the very next access replays), so the loop
+        stays sequential; the chunk converts per-access ``MemoryAccess``
+        construction and attribute chasing into two array casts and
+        local dictionary handles.
+        """
+        import numpy as np
+
+        degree = self.config.degree
+        successor = self._successor
+        succ_get = successor.get
+        last_block = self._last_block
+        last_get = last_block.get
+        blocks = (np.asarray(addresses) >> 6).tolist()
+        if self.config.pc_localized:
+            streams = np.asarray(pcs).tolist()
+        else:
+            streams = [0] * len(blocks)
+        results: List[List[int]] = []
+        append = results.append
+        for stream, block in zip(streams, blocks):
+            previous = last_get(stream)
+            if previous is not None and previous != block:
+                successor[(stream, previous)] = block
+            last_block[stream] = block
+            addrs: List[int] = []
+            cursor = block
+            for _ in range(degree):
+                nxt = succ_get((stream, cursor))
+                if nxt is None:
+                    break
+                addrs.append(nxt << 6)
+                cursor = nxt
+            append(addrs)
+        return results
+
     def reset(self) -> None:
         self._successor.clear()
         self._last_block.clear()

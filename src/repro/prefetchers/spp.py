@@ -162,6 +162,74 @@ class SPPPrefetcher(Prefetcher):
                 speculative_signature, best_delta)
         return addresses
 
+    def process_batch(self, addresses, pcs, instr_ids) -> List[List[int]]:
+        """Chunked form: columnar page/offset split, hoisted table walk.
+
+        The signature tables are read-after-write within a chunk (the
+        path walk consults patterns recorded by earlier accesses), so
+        the walk is sequential; the batch win is one vectorized
+        page/offset extraction plus local handles for both LRU tables.
+        Semantics mirror :meth:`process` exactly.
+        """
+        import numpy as np
+
+        from ..types import BLOCK_BITS, PAGE_BITS
+
+        cfg = self.config
+        threshold = cfg.prefetch_threshold
+        depth = cfg.lookahead_depth
+        max_degree = cfg.max_degree
+        st = self._signature_table
+        st_get = st.get
+        st_move = st.move_to_end
+        pt_entry = self._pattern_entry
+        record = self._record
+        arr = np.asarray(addresses)
+        pages_l = (arr >> PAGE_BITS).tolist()
+        offsets_l = ((arr >> BLOCK_BITS) & (BLOCKS_PER_PAGE - 1)).tolist()
+        results: List[List[int]] = []
+        append = results.append
+        for page, offset in zip(pages_l, offsets_l):
+            row = st_get(page)
+            if row is None:
+                self._insert_signature(page, offset)
+                append([])
+                continue
+            st_move(page)
+            signature, last_offset = row
+            delta = offset - last_offset
+            if delta == 0:
+                append([])
+                continue
+            record(signature, delta)
+            signature = advance_signature(signature, delta)
+            row[0], row[1] = signature, offset
+
+            addrs: List[int] = []
+            confidence = 1.0
+            spec_signature = signature
+            spec_offset = offset
+            page_base = page << PAGE_BITS
+            for _ in range(depth):
+                entry = pt_entry(spec_signature, create=False)
+                if entry is None or entry.total == 0:
+                    break
+                best_delta, best_count = max(entry.counters.items(),
+                                             key=lambda item: item[1])
+                confidence *= best_count / entry.total
+                if confidence < threshold:
+                    break
+                spec_offset += best_delta
+                if not 0 <= spec_offset < BLOCKS_PER_PAGE:
+                    break
+                addrs.append(page_base | (spec_offset << BLOCK_BITS))
+                if len(addrs) >= max_degree:
+                    break
+                spec_signature = advance_signature(spec_signature,
+                                                   best_delta)
+            append(addrs)
+        return results
+
     def reset(self) -> None:
         self._signature_table.clear()
         self._pattern_table.clear()

@@ -50,6 +50,7 @@ class GuardedPrefetcher(Prefetcher):
         self.quarantined = False
         self.last_error: Optional[str] = None
         self._obs = None
+        self._scalar_only = False
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -89,6 +90,7 @@ class GuardedPrefetcher(Prefetcher):
         self.consecutive_errors = 0
         self.quarantined = False
         self.last_error = None
+        self._scalar_only = False
 
     # -- guarded per-access path ---------------------------------------------
 
@@ -109,6 +111,36 @@ class GuardedPrefetcher(Prefetcher):
             return []
         self.consecutive_errors = 0
         return addresses
+
+    def process_batch(self, addresses, pcs, instr_ids) -> List[List[int]]:
+        """Guarded chunk path.
+
+        Healthy and fault-free, the chunk passes straight through to
+        the wrapped prefetcher's batched implementation (the parity
+        suites assert bit-identity with the scalar guard).  With a
+        fault plan armed — or once any chunk has failed — the guard
+        drops to the per-access base loop so fault points and the
+        consecutive-failure quarantine counter keep their
+        access-granular semantics.  A chunk-level exception means the
+        wrapped prefetcher's state can no longer be trusted to be
+        aligned with the batch protocol, so the failing chunk degrades
+        to no-prefetch and all later chunks take the scalar path.
+        """
+        if self.quarantined:
+            return [[] for _ in range(len(addresses))]
+        if faults.ACTIVE is not None or self._scalar_only:
+            return Prefetcher.process_batch(self, addresses, pcs, instr_ids)
+        try:
+            per_access = self.inner.process_batch(addresses, pcs, instr_ids)
+        except Exception as exc:  # noqa: BLE001 - the guard's entire job
+            self._record_failure(exc)
+            self.consecutive_errors += 1
+            if self.consecutive_errors >= self.quarantine_after:
+                self.quarantined = True
+            self._scalar_only = True
+            return [[] for _ in range(len(addresses))]
+        self.consecutive_errors = 0
+        return per_access
 
     def _record_failure(self, exc: Exception) -> None:
         self.errors += 1

@@ -267,7 +267,10 @@ class Simulator:
                 continue
             blocks = by_trigger.setdefault(pf.trigger_instr_id, [])
             if len(blocks) < budget:
-                blocks.append(pf.block)
+                # pf.address >> BLOCK_BITS inline: this loop runs once
+                # per prefetch record and the ``block`` property call
+                # is measurable at prefetch-file sizes.
+                blocks.append(pf.address >> 6)
 
         result = SimResult(trace_name=trace.name,
                            prefetcher_name=prefetcher_name,

@@ -15,6 +15,33 @@ import numpy as np
 from ..errors import ConfigError
 
 
+def flatten_active_windows(actives) -> "tuple[np.ndarray, np.ndarray]":
+    """Pack per-query active-pixel supports into one flat window.
+
+    The batched one-tick pipeline hands the SNN a *window* of queries,
+    each with its own sorted support array (the pixel-matrix encoder's
+    ``SparseEncoding.active``).  The compiled window kernel wants the
+    CSR-style columnar form instead of a Python list: one concatenated
+    ``int64`` index array plus a ``starts`` offset array such that
+    query ``q`` owns ``flat[starts[q]:starts[q + 1]]``.
+
+    Args:
+        actives: Sequence of 1-D index arrays (possibly empty).
+
+    Returns:
+        ``(flat, starts)`` — ``flat`` of total support length and
+        ``starts`` of length ``len(actives) + 1``.
+    """
+    n = len(actives)
+    starts = np.zeros(n + 1, dtype=np.int64)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), starts
+    np.cumsum(np.fromiter((a.size for a in actives), dtype=np.int64,
+                          count=n), out=starts[1:])
+    flat = np.concatenate(actives).astype(np.int64, copy=False)
+    return flat, starts
+
+
 def poisson_spike_train(rates: np.ndarray, timesteps: int,
                         rng: np.random.Generator,
                         max_probability: float = 0.5,

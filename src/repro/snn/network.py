@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigError
-from .encoding import poisson_spike_train
+from .encoding import flatten_active_windows, poisson_spike_train
 from .neurons import INHIBITORY_LIF, AdaptiveLIFGroup, LIFConfig, LIFGroup
 from .stdp import STDPConfig
 from .synapses import Connection
@@ -45,6 +45,13 @@ def _resilience_faults():
         from ..resilience import faults
         _FAULTS = faults
     return _FAULTS
+
+
+def _load_tick_kernel():
+    """Late-bound compiled window kernel (may be ``None``); imported
+    lazily so building a network never pays the compile probe."""
+    from .ckernel import load_kernel
+    return load_kernel()
 
 
 @dataclass(frozen=True)
@@ -464,6 +471,76 @@ class DiehlCookNetwork:
             next_best_potential=float(potentials[runner_up]),
             ranked_winners=(winner,),
         )
+
+    def present_one_tick_window(self, actives: List[np.ndarray],
+                                learns: List[bool]) -> List[int]:
+        """Run a window of one-tick presentations; return the winners.
+
+        Batched form of :meth:`present_one_tick` for the columnar
+        prefetch pipeline: each entry of ``actives`` is a query's
+        sorted active-pixel support (binary rates implied, exactly the
+        pixel-matrix encoder's output) with its per-query ``learn``
+        flag.  State evolution — weights, theta, interval counter, the
+        :data:`HEALTH_CHECK_INTERVAL` cadence — is bit-identical to
+        calling :meth:`present_one_tick` once per query; the parity
+        suite asserts identical prefetch files end to end.
+
+        The heavy lifting happens in the compiled
+        :mod:`repro.snn.ckernel` window kernel, which runs the
+        periodic weight scan at exactly the scalar cadence and hands
+        back early if a scan turns up non-finite state.  Without a C
+        compiler the loop falls back to :meth:`present_one_tick` per
+        query (same results, scalar speed).
+
+        Callers must ensure the fast path applies (``fast=True``) and
+        no fault plan is armed — the per-query fault hook does not
+        fire inside the kernel.
+        """
+        n = len(actives)
+        kernel = _load_tick_kernel() if self.fast else None
+        if kernel is None:
+            return [self.present_one_tick(None, learn=bool(learn),
+                                          active=active, binary=True).winner
+                    for active, learn in zip(actives, learns)]
+        if n == 0:
+            return []
+        winners_arr = np.empty(n, dtype=np.int64)
+        flat, starts = flatten_active_windows(actives)
+        learn_arr = np.asarray(learns, dtype=np.uint8)
+        stdp = self.input_to_exc.stdp
+        lif = self.exc.config
+        processed = kernel.tick_window(
+            self.input_to_exc.w, self.exc.theta, self.exc.v,
+            flat, starts, learn_arr, winners_arr,
+            intervals=self.intervals_presented,
+            health_interval=HEALTH_CHECK_INTERVAL,
+            threshold_gap=self._threshold_gap,
+            clamp_gap=self._gap_needs_clamp,
+            max_probability=self.config.max_probability,
+            do_stdp=stdp is not None,
+            stdp_d0=self._stdp_d0, stdp_d1=self._stdp_d1,
+            w_min=0.0 if stdp is None else stdp.w_min,
+            w_max=1.0 if stdp is None else stdp.w_max,
+            norm=None if stdp is None else stdp.norm,
+            theta_plus=lif.theta_plus, theta_max=lif.theta_max,
+            theta_decay=self._theta_interval_decay,
+            drive_buf=self._drive_buf, column_buf=self._column_buf)
+        self.intervals_presented += processed
+        if learn_arr[:processed].any():
+            self.exc.adaptation_enabled = True
+        winners = winners_arr[:processed].tolist()
+        if processed < n:
+            # A due health scan saw a non-finite value (unreachable
+            # without an armed fault plan): run the stateful repair
+            # exactly where the scalar path would, then finish the
+            # window one query at a time.
+            self._health_check()
+            winners.extend(
+                self.present_one_tick(None, learn=bool(learn),
+                                      active=active, binary=True).winner
+                for active, learn in zip(actives[processed:],
+                                         learns[processed:]))
+        return winners
 
     def present_one_tick_reference(self, rates: np.ndarray,
                                    learn: Optional[bool] = None) -> RunRecord:

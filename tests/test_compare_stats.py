@@ -186,6 +186,47 @@ def test_bench_stats_gate_flags_mutated_samples(bench_report):
     assert any("nextline.replay_s" in m for m in result.regressions)
 
 
+def test_bench_stats_gate_flags_prefetch_file_slowdown(bench_report):
+    """prefetch_file_s is significance-gated — the threshold gate never
+    checks it, so this is the --stats gate's added coverage."""
+    import copy
+
+    slow = copy.deepcopy(bench_report)
+    cell = slow["prefetchers"]["nextline"]
+    cell["samples"]["prefetch_file_s"] = [
+        v * 10.0 for v in cell["samples"]["prefetch_file_s"]]
+    cell["prefetch_file_s"] *= 10.0
+    threshold = compare_bench_reports(bench_report, slow)
+    assert threshold.ok  # the threshold gate is blind to this phase
+    stats = compare_bench_reports(bench_report, slow, use_stats=True)
+    assert not stats.ok
+    assert stats.gate == "significance"
+    assert any("nextline.prefetch_file_s" in m for m in stats.regressions)
+
+
+def test_bench_partially_sampled_reports_take_mixed_gate(bench_report,
+                                                         monkeypatch):
+    """Replay timings the significance gate cannot cover fall back to
+    the threshold rule instead of going ungated."""
+    import copy
+
+    from repro.harness import compare as compare_module
+
+    trimmed = copy.deepcopy(bench_report)
+    cell = trimmed["prefetchers"]["nextline"]
+    cell["samples"]["replay_s"] = cell["samples"]["replay_s"][:2]
+    cell["replay_s"] *= 10.0  # headline min regresses 10x
+    # The trimmed report is deliberately schema-invalid (sample count
+    # != repeats), so bypass validation to unit-test gate composition.
+    monkeypatch.setattr(compare_module, "validate_bench", lambda r: None)
+    result = compare_bench_reports(bench_report, trimmed, use_stats=True)
+    assert result.gate == "mixed"
+    assert any("nextline.replay_s" in m for m in result.regressions)
+    # prefetch_file_s kept its samples, so it stayed significance-gated.
+    assert any(row.metric == "prefetch_file_s" and row.p_adjusted is not None
+               for row in result.stats)
+
+
 def test_bench_stats_falls_back_for_v2_reports(bench_report):
     import copy
 

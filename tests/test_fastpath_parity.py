@@ -163,3 +163,165 @@ def test_full_run_prefetch_file_bit_identical(one_tick):
         PathfinderConfig(one_tick=one_tick, fast_snn=False), trace)
     assert fast == reference
     assert fast, "expected a non-empty prefetch file"
+
+
+# -- batched columnar driver parity -------------------------------------------
+
+from repro.harness.runner import PREFETCHER_FACTORIES, make_prefetcher  # noqa: E402
+from repro.prefetchers.base import Prefetcher  # noqa: E402
+from repro.snn import ckernel  # noqa: E402
+from repro.snn.encoding import flatten_active_windows  # noqa: E402
+from repro.snn.network import HEALTH_CHECK_INTERVAL  # noqa: E402
+
+#: Every prefetcher that overrides :meth:`Prefetcher.process_batch`.
+BATCHED_PREFETCHERS = ("nextline", "bo", "sisb", "spp", "pathfinder")
+
+#: Behaviourally distinct workloads: graph-irregular, temporal-replay,
+#: and delta-pattern heavy.
+BATCH_WORKLOADS = ("cc-5", "482-sphinx-s0", "623-xalan-s1")
+
+_batch_traces = {}
+_scalar_files = {}
+
+
+def _batch_trace(workload):
+    if workload not in _batch_traces:
+        _batch_traces[workload] = make_trace(workload, 2500, seed=5)
+    return _batch_traces[workload]
+
+
+def _scalar_reference_file(workload, name):
+    key = (workload, name)
+    if key not in _scalar_files:
+        prefetcher = make_prefetcher(name)
+        # Route every chunk through the scalar per-access loop: this is
+        # the oracle the batched implementations must reproduce.
+        prefetcher.process_batch = (
+            lambda a, p, i, _pf=prefetcher:
+            Prefetcher.process_batch(_pf, a, p, i))
+        _scalar_files[key] = generate_prefetches(
+            prefetcher, _batch_trace(workload), budget=2)
+    return _scalar_files[key]
+
+
+@pytest.mark.parametrize("workload", BATCH_WORKLOADS)
+@pytest.mark.parametrize("name", BATCHED_PREFETCHERS)
+def test_process_batch_matches_scalar(workload, name):
+    """Batched prefetch files are bit-identical to the scalar loop's,
+    for every chunk size including degenerate single-access chunks."""
+    trace = _batch_trace(workload)
+    reference = _scalar_reference_file(workload, name)
+    for chunk in (1, 7, len(trace)):
+        assert generate_prefetches(make_prefetcher(name), trace,
+                                   budget=2, chunk=chunk) == reference, \
+            f"{name} diverged on {workload} at chunk={chunk}"
+
+
+def test_pathfinder_batch_state_and_counters_match_scalar():
+    """Beyond the prefetch file: learned SNN state and telemetry
+    counters from the batched pipeline equal the scalar path's."""
+    trace = _batch_trace("cc-5")
+    scalar = make_prefetcher("pathfinder")
+    scalar.process_batch = (
+        lambda a, p, i: Prefetcher.process_batch(scalar, a, p, i))
+    generate_prefetches(scalar, trace, budget=2)
+    batched = make_prefetcher("pathfinder")
+    generate_prefetches(batched, trace, budget=2)
+    assert batched.accesses_seen == scalar.accesses_seen
+    assert batched.snn_queries == scalar.snn_queries
+    assert batched.stdp_updates == scalar.stdp_updates
+    assert batched.prefetches_emitted == scalar.prefetches_emitted
+    assert batched.encoder.cache_hits == scalar.encoder.cache_hits
+    assert batched.encoder.cache_misses == scalar.encoder.cache_misses
+    assert batched.training_table.evictions == scalar.training_table.evictions
+    assert np.array_equal(batched.network.input_to_exc.w,
+                          scalar.network.input_to_exc.w)
+    assert np.array_equal(batched.network.exc.theta,
+                          scalar.network.exc.theta)
+    assert (batched.network.intervals_presented
+            == scalar.network.intervals_presented)
+
+
+def test_generate_prefetches_rejects_bad_chunk():
+    from repro.errors import ConfigError
+    trace = _batch_trace("cc-5")
+    with pytest.raises(ConfigError):
+        generate_prefetches(make_prefetcher("nextline"), trace, chunk=0)
+
+
+def test_flatten_active_windows_layout():
+    actives = [np.array([3, 5], dtype=np.int64),
+               np.empty(0, dtype=np.int64),
+               np.array([1], dtype=np.int64)]
+    flat, starts = flatten_active_windows(actives)
+    assert flat.tolist() == [3, 5, 1]
+    assert starts.tolist() == [0, 2, 2, 3]
+    flat, starts = flatten_active_windows([])
+    assert flat.size == 0 and starts.tolist() == [0]
+
+
+# -- compiled window kernel ---------------------------------------------------
+
+_kernel = ckernel.load_kernel()
+needs_kernel = pytest.mark.skipif(
+    _kernel is None, reason="no C compiler available for the window kernel")
+
+
+@needs_kernel
+def test_ckernel_pairwise_sum_bit_identical():
+    """The C pairwise summation reproduces numpy's reduce bit-for-bit
+    (same blocking/unrolling recursion, strict IEEE flags)."""
+    rng = np.random.default_rng(23)
+    for n in (0, 1, 2, 5, 7, 8, 9, 16, 127, 128, 129, 381, 600, 4096):
+        values = rng.uniform(-1e3, 1e3, size=n)
+        ours = np.float64(_kernel.pairwise_sum(values))
+        numpys = np.float64(np.add.reduce(values))
+        assert ours.tobytes() == numpys.tobytes(), f"n={n}"
+
+
+@needs_kernel
+def test_window_kernel_matches_scalar_one_tick():
+    """A mixed learn/no-learn window leaves winners, weights, theta and
+    the interval counter bitwise equal to per-query scalar calls."""
+    config = PathfinderConfig()
+    encoder = PixelMatrixEncoder(config)
+    rng = np.random.default_rng(29)
+    kwargs = dict(n_input=config.n_input, n_neurons=20, seed=3)
+    batched = DiehlCookNetwork(NetworkConfig(**kwargs), fast=True)
+    scalar = DiehlCookNetwork(NetworkConfig(**kwargs), fast=True)
+    histories = _random_histories(config, rng, 200)
+    actives = [encoder.encode_history_sparse(d).active for d in histories]
+    learns = [bool(rng.integers(0, 2)) for _ in histories]
+    # Span several HEALTH_CHECK_INTERVAL boundaries in one window.
+    assert len(actives) > 2 * HEALTH_CHECK_INTERVAL
+    winners = batched.present_one_tick_window(actives, learns)
+    expected = [scalar.present_one_tick(None, learn=learn, active=active,
+                                        binary=True).winner
+                for active, learn in zip(actives, learns)]
+    assert winners == expected
+    assert batched.input_to_exc.w.tobytes() == scalar.input_to_exc.w.tobytes()
+    assert batched.exc.theta.tobytes() == scalar.exc.theta.tobytes()
+    assert batched.intervals_presented == scalar.intervals_presented
+    assert batched.exc.adaptation_enabled == scalar.exc.adaptation_enabled
+
+
+def test_window_falls_back_without_kernel(monkeypatch):
+    """With the kernel unavailable the window path degrades to scalar
+    calls — same winners, same state."""
+    import repro.snn.network as network_module
+    config = PathfinderConfig()
+    encoder = PixelMatrixEncoder(config)
+    rng = np.random.default_rng(31)
+    kwargs = dict(n_input=config.n_input, n_neurons=20, seed=3)
+    fallback = DiehlCookNetwork(NetworkConfig(**kwargs), fast=True)
+    scalar = DiehlCookNetwork(NetworkConfig(**kwargs), fast=True)
+    histories = _random_histories(config, rng, 40)
+    actives = [encoder.encode_history_sparse(d).active for d in histories]
+    learns = [True] * len(actives)
+    monkeypatch.setattr(network_module, "_load_tick_kernel", lambda: None)
+    winners = fallback.present_one_tick_window(actives, learns)
+    expected = [scalar.present_one_tick(None, learn=True, active=active,
+                                        binary=True).winner
+                for active in actives]
+    assert winners == expected
+    assert fallback.input_to_exc.w.tobytes() == scalar.input_to_exc.w.tobytes()

@@ -313,9 +313,12 @@ def test_cli_report_html(tmp_path, capsys):
     assert "[dashboard written to" in capsys.readouterr().out
 
 
-def test_cli_report_requires_some_input(capsys):
+def test_cli_report_requires_some_input(tmp_path, monkeypatch, capsys):
     from repro.cli import main
 
+    # A committed benchmarks/perf/history.jsonl is auto-picked-up from
+    # the repo root, so run from a directory with no trend file.
+    monkeypatch.chdir(tmp_path)
     assert main(["report"]) == 2
     assert "nothing to report" in capsys.readouterr().out
 

@@ -111,3 +111,72 @@ def test_metrics_observability_parity():
     assert ref_sim.engine_used == "reference"
     assert fast_result == ref_result
     assert fast_metrics == ref_metrics
+
+
+# -- chunked-classification edge cases ----------------------------------------
+#
+# The fast engine precomputes trigger alignment and assured-miss
+# classification before the loop; these tests pin the fallback rules.
+
+from repro.types import MemoryAccess, PrefetchRequest, Trace  # noqa: E402
+
+
+def _both_engines(trace, requests):
+    reference = simulate(trace, requests, default_hierarchy(), "t",
+                         engine="reference")
+    fast = simulate(trace, requests, default_hierarchy(), "t",
+                    engine="fast")
+    return fast, reference
+
+
+def test_triggers_missing_from_trace_are_ignored():
+    """Prefetch triggers that name no trace instruction are silently
+    dropped by both engines (ChampSim semantics)."""
+    accesses = [MemoryAccess(instr_id=(i + 1) * 10, pc=0x4,
+                             address=(1 << 20 | i) << 6)
+                for i in range(64)]
+    trace = Trace(name="t", accesses=accesses, total_instructions=641)
+    requests = [PrefetchRequest(trigger_instr_id=10,
+                                address=(1 << 21) << 6),
+                PrefetchRequest(trigger_instr_id=15,       # no such id
+                                address=(1 << 21 | 1) << 6),
+                PrefetchRequest(trigger_instr_id=99_999,   # past the end
+                                address=(1 << 21 | 2) << 6)]
+    fast, reference = _both_engines(trace, requests)
+    assert fast == reference
+    assert fast.pf_issued == 1
+
+
+def test_non_monotone_instr_ids_take_dict_fallback():
+    """Duplicate/regressing instruction ids disable searchsorted
+    trigger alignment; each duplicate re-issues its list, as the
+    scalar dict probe did."""
+    ids = [10, 20, 20, 15, 30, 40, 40, 50]
+    accesses = [MemoryAccess(instr_id=i, pc=0x4,
+                             address=(1 << 20 | k) << 6)
+                for k, i in enumerate(ids)]
+    trace = Trace(name="t", accesses=accesses, total_instructions=51)
+    requests = [PrefetchRequest(trigger_instr_id=20,
+                                address=(1 << 21) << 6),
+                PrefetchRequest(trigger_instr_id=40,
+                                address=(1 << 21 | 1) << 6)]
+    fast, reference = _both_engines(trace, requests)
+    assert fast == reference
+
+
+def test_assured_miss_blocks_that_are_prefetch_targets_stay_scalar():
+    """Prefetching replays never classify assured misses — the
+    in-flight/LLC checks must still run on a first-touch block so a
+    timely prefetch converts it into an LLC hit."""
+    blocks = [1 << 20 | k for k in range(48)]
+    # Re-demand the prefetched block late enough for the fill to land.
+    target = 1 << 21
+    addresses = [b << 6 for b in blocks] + [target << 6]
+    accesses = [MemoryAccess(instr_id=(i + 1) * 10, pc=0x4, address=a)
+                for i, a in enumerate(addresses)]
+    trace = Trace(name="t", accesses=accesses,
+                  total_instructions=len(accesses) * 10 + 1)
+    requests = [PrefetchRequest(trigger_instr_id=10, address=target << 6)]
+    fast, reference = _both_engines(trace, requests)
+    assert fast == reference
+    assert fast.pf_useful >= 1

@@ -305,7 +305,10 @@ def test_generate_prefetches_wraps_failures_with_context():
     with pytest.raises(PrefetchFileError) as excinfo:
         generate_prefetches(_Flaky(fail_on={3}), trace, budget=2)
     message = str(excinfo.value)
-    assert "flaky" in message and "instr_id=" in message
+    # The columnar driver reports chunk-level context: which prefetcher,
+    # which access chunk (by index and instr_id range), and the cause.
+    assert "flaky" in message and "access chunk" in message
+    assert "instr_ids 10..80" in message
     assert "boom on call 3" in message
 
 
