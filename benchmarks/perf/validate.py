@@ -7,7 +7,7 @@ Usage:
         [--max-regress 0.25] [--stats]
 
 Accepts schema v2 and v3 reports (v3 additionally carries per-repeat
-timing samples).  With ``--baseline`` the fast-engine replay timings
+timing samples).  With ``--baseline`` the headline replay timings
 in NEW.json are gated against OLD.json: any ``replay_s`` (or the
 no-prefetch ``baseline_replay_s``) more than ``--max-regress``
 (default from repro.harness.perfbench.DEFAULT_MAX_REGRESS, +25%)

@@ -21,10 +21,28 @@ chunk), so the scalar breakdown is the *why* behind the batched
 numbers; the script prints the batched wall time alongside for the
 speedup headline.
 
+The replay side gets the same treatment: one instrumented
+*reference-engine* run (the parity oracle — the only engine with
+per-stage seams) is broken into
+
+- **cache-probe** — the L1/L2/LLC lookup + install path of each demand
+  load, DRAM and ROB time excluded;
+- **dram** — the bank-timing model (demand fills and prefetch issues);
+- **rob-commit** — dispatch, ROB drain/commit, MSHR admit/fill, and
+  the final cycle count;
+- **pf-drain** — prefetch fill draining into the LLC plus
+  per-access prefetch issue (minus its nested DRAM call);
+- **driver/other** — the remainder (trigger alignment, the loop).
+
+The fast (fused scalar) and batch (windowed compiled kernel) engine
+wall times print alongside: the buckets explain what those engines
+flatten.
+
 Usage::
 
     PYTHONPATH=src python scripts/profile_hotpath.py \
         [--workload cc-5] [--loads 20000] [--budget 2]
+        [--prefetcher pathfinder]
 """
 
 import argparse
@@ -34,8 +52,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.harness.runner import make_prefetcher  # noqa: E402
+from repro.harness.runner import default_hierarchy, make_prefetcher  # noqa: E402
 from repro.prefetchers.base import Prefetcher, generate_prefetches  # noqa: E402
+from repro.sim.simulator import Simulator, simulate  # noqa: E402
 from repro.traces import make_trace  # noqa: E402
 
 
@@ -62,6 +81,73 @@ def wrap(obj, name, bucket):
             bucket.calls += 1
 
     setattr(obj, name, timed)
+
+
+def wrap_excluding(obj, name, bucket, inner_buckets):
+    """Like :func:`wrap`, but subtract time already booked to nested
+    seams (``inner_buckets``) during the call, so buckets stay
+    disjoint and sum to (at most) the wall time."""
+    inner = getattr(obj, name)
+
+    def timed(*args, **kwargs):
+        before = sum(b.seconds for b in inner_buckets)
+        t0 = time.perf_counter()
+        try:
+            return inner(*args, **kwargs)
+        finally:
+            elapsed = time.perf_counter() - t0
+            nested = sum(b.seconds for b in inner_buckets) - before
+            bucket.seconds += elapsed - nested
+            bucket.calls += 1
+
+    setattr(obj, name, timed)
+
+
+def profile_replay(trace, requests, prefetcher_name):
+    """Replay buckets from one instrumented reference-engine run.
+
+    Returns ``(rows, reference_s, fast_s, batch_s)`` where ``rows``
+    is ``[(bucket, calls, seconds), ...]`` summing (with the
+    driver/other remainder) to ``reference_s``.
+    """
+    hierarchy = default_hierarchy()
+
+    def timed_engine(engine):
+        t0 = time.perf_counter()
+        simulate(trace, requests, config=hierarchy,
+                 prefetcher_name=prefetcher_name, engine=engine)
+        return time.perf_counter() - t0
+
+    batch_s = timed_engine("batch")
+    fast_s = timed_engine("fast")
+
+    sim = Simulator(hierarchy, engine="reference")
+    buckets = {name: Bucket()
+               for name in ("cache-probe", "dram", "rob-commit",
+                            "pf-drain")}
+    wrap(sim.dram, "access", buckets["dram"])
+    for name in ("dispatch_load", "mshr_admit", "mshr_fill",
+                 "complete_load", "finalize"):
+        wrap(sim.core, name, buckets["rob-commit"])
+    # The demand path calls DRAM and the MSHRs inside it; the prefetch
+    # issue path calls DRAM.  Exclude the nested seams so each cycle
+    # of wall time lands in exactly one bucket.
+    wrap_excluding(sim, "_demand_access", buckets["cache-probe"],
+                   (buckets["dram"], buckets["rob-commit"]))
+    wrap_excluding(sim, "_issue_prefetch", buckets["pf-drain"],
+                   (buckets["dram"],))
+    wrap(sim, "_drain_completed_prefetches", buckets["pf-drain"])
+
+    t0 = time.perf_counter()
+    sim.run(trace, requests, prefetcher_name)
+    reference_s = time.perf_counter() - t0
+
+    rows = [(name, bucket.calls, bucket.seconds)
+            for name, bucket in buckets.items()]
+    accounted = sum(seconds for _, _, seconds in rows)
+    rows.append(("driver/other", len(trace),
+                 max(0.0, reference_s - accounted)))
+    return rows, reference_s, fast_s, batch_s
 
 
 def stdp_fraction(queries) -> float:
@@ -94,6 +180,10 @@ def main() -> int:
     parser.add_argument("--workload", default="cc-5")
     parser.add_argument("--loads", type=int, default=20_000)
     parser.add_argument("--budget", type=int, default=2)
+    parser.add_argument("--prefetcher", default="pathfinder",
+                        help="prefetch file replayed in the replay-side "
+                             "profile (generation buckets always profile "
+                             "pathfinder)")
     args = parser.parse_args()
 
     trace = make_trace(args.workload, args.loads)
@@ -161,6 +251,25 @@ def main() -> int:
     for name, calls, seconds in rows:
         print(f"{name:<14} {calls:>8} {seconds:>9.4f} "
               f"{seconds / scalar_s:>6.1%}")
+
+    # -- replay-side buckets ---------------------------------------------
+    replay_pf = make_prefetcher(args.prefetcher)
+    requests = generate_prefetches(replay_pf, trace, args.budget)
+    replay_rows, reference_s, fast_s, batch_s = profile_replay(
+        trace, requests, args.prefetcher)
+    print()
+    print(f"replay of {args.prefetcher} prefetch file "
+          f"({len(requests)} requests)")
+    print(f"reference replay_s: {reference_s:.4f} (instrumented)")
+    print(f"fast replay_s:      {fast_s:.4f} "
+          f"({reference_s / fast_s:.2f}x vs instrumented reference)")
+    print(f"batch replay_s:     {batch_s:.4f} "
+          f"({reference_s / batch_s:.2f}x vs instrumented reference)")
+    print()
+    print(f"{'bucket':<14} {'calls':>8} {'seconds':>9} {'share':>7}")
+    for name, calls, seconds in replay_rows:
+        print(f"{name:<14} {calls:>8} {seconds:>9.4f} "
+              f"{seconds / reference_s:>6.1%}")
     return 0
 
 

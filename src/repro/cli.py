@@ -8,7 +8,7 @@ Four subcommands, installed as the ``repro`` console script::
 
     repro run <workload> <prefetcher> [--loads N] [--seed S]
               [--budget B] [--hierarchy {scaled,full}]
-              [--engine {fast,reference}]
+              [--engine {batch,fast,reference}]
               [--events-out e.jsonl] [--metrics-out m.json]
         Run one prefetcher on one workload and print IPC / accuracy /
         coverage against the no-prefetch baseline, optionally streaming
@@ -201,10 +201,41 @@ def _select_hierarchy(name: str) -> HierarchyConfig:
     return HierarchyConfig() if name == "full" else HierarchyConfig.scaled()
 
 
+def _check_engine_flags(args: argparse.Namespace) -> str:
+    """Resolve ``--engine`` and reject impossible explicit requests.
+
+    ``--engine`` defaults to ``None`` so an *explicit* ``batch`` is
+    distinguishable from the implicit default: the default quietly
+    resolves to "batch" and lets the simulator downgrade (with an
+    :class:`~repro.errors.EngineFallbackWarning`) when tracing or
+    fault injection needs a slower engine, but a user who typed
+    ``--engine batch`` alongside ``--events-out`` / ``--inject-faults``
+    asked for two incompatible things at once — that is a
+    :class:`~repro.errors.ConfigError`, not a silent downgrade.
+    """
+    if args.engine == "batch":
+        for flag, value in (("--events-out", args.events_out),
+                            ("--inject-faults", args.inject_faults)):
+            if value:
+                raise ConfigError(
+                    f"--engine batch is incompatible with {flag}: "
+                    "the batch kernel cannot emit per-access events or "
+                    "host fault points; drop --engine to let the "
+                    "simulator pick a compatible engine, or request "
+                    "--engine fast / reference explicitly")
+    return args.engine or "batch"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.inject_faults in ("help", "list"):
         _print_fault_points()
         return 0
+    try:
+        engine = _check_engine_flags(args)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    args.engine = engine
     plan = _fault_plan(args, seed=args.seed)
     obs = _make_obs(args)
     spec = args.prefetcher
@@ -428,14 +459,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                  ("prefetch_file_s", "replay_s",
                                   "replay_reference_s")})
             finish_run(ledger, time.perf_counter() - start, status=status)
+    engine = report.get("replay_engine", "fast")
     rows = [["trace_gen", "-", f"{report['trace_gen_s']:.3f}s"],
-            ["baseline_replay (fast)", "-",
+            [f"baseline_replay ({engine})", "-",
              f"{report['baseline_replay_s']:.3f}s"],
             ["baseline_replay (reference)", "-",
              f"{report['baseline_replay_reference_s']:.3f}s"]]
     for name, cell in report["prefetchers"].items():
         rows.append(["prefetch_file", name, f"{cell['prefetch_file_s']:.3f}s"])
-        rows.append(["replay (fast)", name, f"{cell['replay_s']:.3f}s"])
+        rows.append([f"replay ({engine})", name, f"{cell['replay_s']:.3f}s"])
         rows.append(["replay (reference)", name,
                      f"{cell['replay_reference_s']:.3f}s "
                      f"({cell['replay_speedup']:.1f}x)"])
@@ -568,10 +600,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--hierarchy", choices=("scaled", "full"),
                        default="scaled",
                        help="scaled (default) or full paper Table-3 caches")
-    p_run.add_argument("--engine", choices=("fast", "reference"),
-                       default="fast",
-                       help="replay engine; results are bit-identical, "
-                            "'reference' is the readable slow loop")
+    p_run.add_argument("--engine", choices=("batch", "fast", "reference"),
+                       default=None,
+                       help="replay engine; results are bit-identical. "
+                            "'batch' (the default) plans windows over "
+                            "the trace columns and runs a compiled "
+                            "kernel, 'fast' is the fused scalar loop, "
+                            "'reference' is the readable slow loop. "
+                            "An explicit 'batch' combined with "
+                            "--events-out or --inject-faults is a "
+                            "config error (those need a slower "
+                            "engine); leave --engine off to let the "
+                            "simulator downgrade with a warning.")
     p_run.add_argument("--encoder-cache", type=int, default=None,
                        metavar="N",
                        help="LRU capacity of PATHFINDER's pixel-encoding "

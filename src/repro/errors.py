@@ -83,5 +83,18 @@ class SimulationError(ReproError):
     """The cache/CPU simulator was driven into an invalid state."""
 
 
+class EngineFallbackWarning(UserWarning):
+    """A replay engine request was downgraded to a compatible engine.
+
+    Emitted by :class:`repro.sim.simulator.Simulator` when the
+    requested engine cannot serve the configuration (event tracing,
+    non-LRU replacement, armed fault injection) and a slower engine
+    runs instead.  A warning, not an error: results are bit-identical
+    across engines, only wall-clock changes — but silent downgrades
+    made benchmark numbers lie, so the downgrade is now visible and
+    filterable.  ``Simulator.engine_used`` reports what actually ran.
+    """
+
+
 class ModelError(ReproError):
     """A learning model (SNN / LSTM / RL) was misused or failed to build."""

@@ -1,0 +1,92 @@
+"""The ``engine="batch"`` replay driver.
+
+Plans the replay from the trace's cached columns
+(:func:`~repro.sim.fast_engine.planner.plan_replay`), then executes it
+on the compiled C kernel (:mod:`~repro.sim.fast_engine.ckernel`) when
+the plan is eligible, or on the fused scalar loop
+(:func:`~repro.sim.fast_engine.scalar.replay_fast`) when it is not —
+non-monotone instruction ids, negative blocks, oversized ids, warm
+caches, pre-existing prefetch state, or simply no C compiler.  Both
+paths produce bit-identical :class:`~repro.sim.metrics.SimResult`\\ s;
+the parity suite runs all three engines against each other.
+
+The cross-lineup amortization lives one level down: the planner reads
+the monotone flag and derived columns cached on
+:class:`repro.types.TraceArrays`, so a grid/bench lineup (baseline +
+N prefetchers × repeats over one trace) derives them once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..metrics import SimResult
+from ...types import Trace
+from .ckernel import load_kernel
+from .planner import plan_replay
+from .scalar import replay_fast
+
+
+def _load_replay_kernel():
+    """Seam for tests: the compiled kernel, or ``None``."""
+    return load_kernel()
+
+
+def replay_batch(sim, trace: Trace,
+                 by_trigger: Dict[int, List[int]],
+                 result: SimResult) -> None:
+    """Replay ``trace`` on ``sim`` using the batch plan.
+
+    Same contract as :func:`replay_fast`: mutates ``result`` and the
+    simulator's cache/DRAM stats in place; the caller owns the shared
+    epilogue.
+    """
+    arrays = trace.arrays()
+    plan = plan_replay(arrays, by_trigger)
+    kernel = _load_replay_kernel()
+    cold = (not any(sim.l1d.sets) and not any(sim.l2.sets)
+            and not any(sim.llc.sets))
+    if (kernel is None or not plan.kernel_eligible or not cold
+            or sim._pf_heap or sim._pf_inflight):
+        replay_fast(sim, trace, by_trigger, result)
+        return
+
+    out = kernel.replay(arrays.instr_ids, arrays.blocks,
+                        plan.pf_starts, plan.pf_blocks, sim.config)
+
+    # -- write the kernel's counters back (same targets as the scalar
+    # loop's epilogue) ---------------------------------------------------
+    l1, l2, llc, dram = sim.l1d, sim.l2, sim.llc, sim.dram
+    l1.hits, l1.misses = out["l1_hits"], out["l1_misses"]
+    l2.hits, l2.misses = out["l2_hits"], out["l2_misses"]
+    llc.hits, llc.misses = out["llc_hits"], out["llc_misses"]
+    llc.useful_prefetches = out["llc_useful"]
+    llc.evicted_unused_prefetches = out["llc_evicted_unused"]
+    llc.prefetch_fills = out["llc_pf_fills"]
+    dram.requests = out["dram_requests"]
+    dram.total_wait_cycles = out["dram_wait"]
+    wait_hist = dram.wait_histogram
+    if wait_hist is not None:
+        observe = wait_hist.observe
+        for wait in out["waits"].tolist():
+            observe(wait)
+    if out["pf_dropped"]:
+        sim._pf_dropped.inc(out["pf_dropped"])
+
+    result.l1d_hits = out["l1_hits"]
+    result.l2_hits = out["l2_hits"]
+    result.llc_hits = out["llc_hits"]
+    result.llc_misses = out["llc_misses"]
+    result.pf_issued = out["pf_issued"]
+    result.pf_late = out["pf_late"]
+    # Late prefetches count as useful here, exactly as in the scalar
+    # and reference loops; the caller's epilogue adds the LLC's
+    # in-cache useful count.
+    result.pf_useful = out["pf_late"]
+
+    # ---- core.finalize -------------------------------------------------
+    cycles = trace.instruction_count / sim.config.core.width
+    for cursor in (out["dispatch"], out["commit"], out["drain"]):
+        if cursor > cycles:
+            cycles = cursor
+    result.cycles = cycles

@@ -44,8 +44,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from .metrics import SimResult
-from ..types import Trace
+from ..metrics import SimResult
+from ...types import Trace
 
 
 def replay_fast(sim, trace: Trace,
@@ -118,7 +118,6 @@ def replay_fast(sim, trace: Trace,
 
     arrays = trace.arrays()
     ids_np = arrays.instr_ids
-    blocks_np = arrays.blocks
     n = len(ids_np)
     instr_ids_l = arrays.instr_id_list()
     blocks_l = arrays.block_list()
@@ -142,7 +141,7 @@ def replay_fast(sim, trace: Trace,
         # Trigger alignment: one searchsorted replaces a dict probe per
         # access.  Triggers not present in the trace are silently
         # ignored, exactly like the ``by_trigger.get`` they replace.
-        if n and bool(np.all(np.diff(ids_np) > 0)):
+        if n and arrays.monotone():
             pf_lists: List = [None] * n
             keys = np.fromiter(by_trigger.keys(), dtype=np.int64,
                                count=len(by_trigger))
@@ -333,15 +332,14 @@ def replay_fast(sim, trace: Trace,
         #
         # Assured misses: on a cold start a first-touch block cannot be
         # resident in any level, no matter how replay timing unfolds —
-        # classification for those accesses is settled here, set-level,
-        # before the loop runs, and the assured path skips the
-        # residency probes while keeping the miss arithmetic verbatim.
+        # classification for those accesses is settled set-level before
+        # the loop runs (cached on the trace view, so a lineup derives
+        # it once), and the assured path skips the residency probes
+        # while keeping the miss arithmetic verbatim.
         assured_iter: "object" = repeat(False)
         if (not any(l1_sets) and not any(l2_sets)
                 and not any(llc_sets)):
-            assured = np.zeros(n, dtype=bool)
-            assured[np.unique(blocks_np, return_index=True)[1]] = True
-            assured_iter = assured.tolist()
+            assured_iter = arrays.first_touch_list()
 
         for instr_id, block, is_assured in zip(instr_ids_l, blocks_l,
                                                assured_iter):

@@ -10,20 +10,22 @@ memory→LLC only, exactly as in the competition setting.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError, EngineFallbackWarning, SimulationError
 from ..obs import Counter, Observability
+from ..resilience.faults import active as _faults_active
 from ..types import PrefetchRequest, Trace
 from .cache import ArrayCache, CacheConfig, SetAssociativeCache
 from .cpu import CoreConfig, TimingCore
 from .dram import DramConfig, DramModel, FlatDram
-from .fast_engine import replay_fast
+from .fast_engine import replay_batch, replay_fast
 from .metrics import SimResult
 
 #: Replay engines accepted by :class:`Simulator` and :func:`simulate`.
-ENGINES = ("fast", "reference")
+ENGINES = ("batch", "fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -84,43 +86,64 @@ class Simulator:
     ``run.begin``/``run.end`` events.  With the default disabled
     bundle the replay loop pays only a handful of boolean checks.
 
-    Two replay engines produce bit-identical results (enforced by
+    Three replay engines produce bit-identical results (enforced by
     ``tests/test_replay_parity.py``):
 
-    - ``"fast"`` (default) — the flat-array loop in
+    - ``"batch"`` (default) — the planned columnar replay in
+      :mod:`repro.sim.fast_engine.batch`: cached trace columns, window
+      segmentation, and a compiled C kernel for the sequential
+      recurrence, falling back to the fused scalar loop per plan;
+    - ``"fast"`` — the flat-array scalar loop in
       :mod:`repro.sim.fast_engine` over :class:`~repro.sim.cache.ArrayCache`
       levels and :class:`~repro.sim.dram.FlatDram`;
     - ``"reference"`` — the straightforward per-object loop below, kept
       as the readable specification and parity oracle.
 
-    The fast engine covers LRU replacement and metrics-level
+    The batch and fast engines cover LRU replacement and metrics-level
     observability; requesting per-event tracing or an ``srrip`` level
-    silently falls back to the reference engine (``engine_used`` tells
-    which one ran), so callers can always ask for ``"fast"``.
+    falls back to the reference engine, and ``"batch"`` under armed
+    fault injection falls back to ``"fast"``.  Every downgrade emits a
+    typed :class:`~repro.errors.EngineFallbackWarning` (``engine_used``
+    tells which engine ran), so callers can always ask for the fastest
+    engine and still see when they did not get it.
     """
 
     def __init__(self, config: Optional[HierarchyConfig] = None,
                  obs: Optional[Observability] = None,
-                 engine: str = "fast"):
+                 engine: str = "batch"):
         if engine not in ENGINES:
             raise ConfigError(
                 f"unknown replay engine {engine!r}; expected one of {ENGINES}")
         self.config = config or HierarchyConfig()
         self.obs = obs if obs is not None else Observability.disabled()
         self._trace_events = self.obs.tracer.enabled
-        # Resolve the engine: the fast loop has no event-tracing hooks
-        # and only implements LRU, so those configurations run on the
-        # reference engine regardless of what was requested.
-        if engine == "fast" and (
-                self._trace_events
-                or self.config.l1d.replacement != "lru"
-                or self.config.l2.replacement != "lru"
-                or self.config.llc.replacement != "lru"):
+        # Resolve the engine: the batch/fast loops have no
+        # event-tracing hooks and only implement LRU, so those
+        # configurations run on the reference engine; the batch plan
+        # additionally steps aside while fault injection is armed
+        # (fault plans corrupt traces and state mid-replay — the
+        # scalar loop is the proven path for chaos runs).
+        fallback_reason = None
+        non_lru = (self.config.l1d.replacement != "lru"
+                   or self.config.l2.replacement != "lru"
+                   or self.config.llc.replacement != "lru")
+        if engine in ("batch", "fast") and (self._trace_events or non_lru):
+            fallback_reason = ("event tracing is enabled"
+                               if self._trace_events
+                               else "a non-LRU replacement policy is "
+                                    "configured")
             engine = "reference"
+        elif engine == "batch" and _faults_active() is not None:
+            fallback_reason = "fault injection is armed"
+            engine = "fast"
+        if fallback_reason is not None:
+            warnings.warn(EngineFallbackWarning(
+                f"replay engine downgraded to {engine!r}: "
+                f"{fallback_reason}"), stacklevel=2)
         self.engine_requested = engine
         #: The engine that will actually run (after fallback).
         self.engine_used = engine
-        if engine == "fast":
+        if engine in ("batch", "fast"):
             self.l1d = ArrayCache(self.config.l1d)
             self.l2 = ArrayCache(self.config.l2)
             self.llc = ArrayCache(self.config.llc)
@@ -286,7 +309,9 @@ class Simulator:
                                  prefetcher=prefetcher_name,
                                  loads=len(trace))
 
-        if self.engine_used == "fast":
+        if self.engine_used == "batch":
+            replay_batch(self, trace, by_trigger, result)
+        elif self.engine_used == "fast":
             replay_fast(self, trace, by_trigger, result)
         else:
             for acc in trace:
@@ -345,7 +370,7 @@ def simulate(trace: Trace, prefetches: Iterable[PrefetchRequest] = (),
              config: Optional[HierarchyConfig] = None,
              prefetcher_name: str = "none",
              obs: Optional[Observability] = None,
-             engine: str = "fast") -> SimResult:
+             engine: str = "batch") -> SimResult:
     """Convenience wrapper: build a fresh :class:`Simulator` and run it."""
     return Simulator(config, obs=obs, engine=engine).run(
         trace, prefetches, prefetcher_name)

@@ -43,6 +43,42 @@ def test_run_rejects_unknown_prefetcher():
         main(["run", "cc-5", "nope"])
 
 
+def test_run_engine_batch_explicit(capsys):
+    assert main(["run", "cc-5", "nextline", "--loads", "1000",
+                 "--engine", "batch"]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("extra", [
+    ["--events-out", "e.jsonl"],
+    ["--inject-faults", "prefetcher.access:p=0"],
+])
+def test_run_engine_batch_with_incompatible_flag_is_config_error(
+        tmp_path, capsys, extra, monkeypatch):
+    """An *explicit* --engine batch combined with flags that force a
+    slower engine must exit 2 with a config error, not downgrade."""
+    monkeypatch.chdir(tmp_path)  # --events-out writes relative to cwd
+    assert main(["run", "cc-5", "nextline", "--loads", "400",
+                 "--engine", "batch"] + extra) == 2
+    assert "incompatible" in capsys.readouterr().out
+
+
+def test_run_default_engine_downgrades_with_warning(tmp_path, capsys):
+    """Leaving --engine off lets the simulator downgrade (visibly)."""
+    import warnings
+
+    from repro.errors import EngineFallbackWarning
+
+    events = tmp_path / "e.jsonl"
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert main(["run", "cc-5", "nextline", "--loads", "400",
+                     "--events-out", str(events)]) == 0
+    assert any(isinstance(w.message, EngineFallbackWarning)
+               for w in caught)
+    assert events.exists()
+
+
 def test_experiment_command(capsys):
     assert main(["experiment", "table9"]) == 0
     out = capsys.readouterr().out

@@ -1,19 +1,23 @@
-"""Cross-engine parity: the fast replay engine must be bit-identical.
+"""Cross-engine parity: every replay engine must be bit-identical.
 
-The fast engine (``repro.sim.fast_engine``) re-implements the reference
-replay loop with inlined flat state; its only permitted difference is
-wall-clock time.  These tests replay the same (trace, prefetch file)
-under both engines for every registered prefetcher across three
-behaviourally distinct workloads and require the *entire*
+The fast engine (``repro.sim.fast_engine.scalar``) re-implements the
+reference replay loop with inlined flat state, and the batch engine
+(``repro.sim.fast_engine.batch``) re-implements it again as a columnar
+window plan executed by a compiled kernel; their only permitted
+difference is wall-clock time.  These tests replay the same (trace,
+prefetch file) under all engines for every registered prefetcher
+across three behaviourally distinct workloads and require the *entire*
 :class:`~repro.sim.metrics.SimResult` — cycles included, to the last
 float bit — to match.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, EngineFallbackWarning
 from repro.obs import MemorySink, Observability, Tracer
 from repro.prefetchers.base import generate_prefetches
 from repro.sim.cache import CacheConfig
@@ -45,29 +49,32 @@ def _requests(workload: str, prefetcher: str):
     return _request_cache[key]
 
 
+@pytest.mark.parametrize("engine", ("fast", "batch"))
 @pytest.mark.parametrize("workload", PARITY_WORKLOADS)
 @pytest.mark.parametrize("prefetcher", sorted(PREFETCHER_FACTORIES))
-def test_engines_bit_identical(workload, prefetcher):
+def test_engines_bit_identical(workload, prefetcher, engine):
     trace = _trace(workload)
     requests = _requests(workload, prefetcher)
     reference = simulate(trace, requests, default_hierarchy(),
                          prefetcher, engine="reference")
-    fast = simulate(trace, requests, default_hierarchy(),
-                    prefetcher, engine="fast")
-    assert fast == reference
+    candidate = simulate(trace, requests, default_hierarchy(),
+                         prefetcher, engine=engine)
+    assert candidate == reference
 
 
-def test_engines_bit_identical_without_prefetches():
+@pytest.mark.parametrize("engine", ("fast", "batch"))
+def test_engines_bit_identical_without_prefetches(engine):
     trace = _trace("cc-5")
     reference = simulate(trace, (), default_hierarchy(), "none",
                          engine="reference")
-    fast = simulate(trace, (), default_hierarchy(), "none", engine="fast")
-    assert fast == reference
+    candidate = simulate(trace, (), default_hierarchy(), "none",
+                         engine=engine)
+    assert candidate == reference
 
 
-def test_fast_engine_is_the_default():
+def test_batch_engine_is_the_default():
     sim = Simulator(default_hierarchy())
-    assert sim.engine_used == "fast"
+    assert sim.engine_used == "batch"
 
 
 def test_unknown_engine_rejected():
@@ -75,11 +82,13 @@ def test_unknown_engine_rejected():
         Simulator(default_hierarchy(), engine="turbo")
 
 
-def test_srrip_config_falls_back_to_reference():
+@pytest.mark.parametrize("engine", ("fast", "batch"))
+def test_srrip_config_falls_back_to_reference(engine):
     config = HierarchyConfig(
         llc=CacheConfig(name="LLC", sets=128, ways=16, latency=20,
                         replacement="srrip"))
-    sim = Simulator(config, engine="fast")
+    with pytest.warns(EngineFallbackWarning, match="non-LRU"):
+        sim = Simulator(config, engine=engine)
     assert sim.engine_requested == "reference"
     assert sim.engine_used == "reference"
     # And the run still works end to end.
@@ -87,10 +96,37 @@ def test_srrip_config_falls_back_to_reference():
     assert result.llc_misses > 0
 
 
-def test_event_tracing_falls_back_to_reference():
+@pytest.mark.parametrize("engine", ("fast", "batch"))
+def test_event_tracing_falls_back_to_reference(engine):
     obs = Observability(tracer=Tracer(MemorySink()))
-    sim = Simulator(default_hierarchy(), obs=obs, engine="fast")
+    with pytest.warns(EngineFallbackWarning, match="event tracing"):
+        sim = Simulator(default_hierarchy(), obs=obs, engine=engine)
     assert sim.engine_used == "reference"
+
+
+def test_armed_faults_downgrade_batch_to_fast():
+    """The batch kernel cannot host fault points; the scalar loop can.
+    The downgrade is typed and visible, never silent."""
+    from repro.resilience.faults import FaultPlan, injected
+
+    plan = FaultPlan.parse("prefetcher.access:p=0", seed=3)
+    with injected(plan):
+        with pytest.warns(EngineFallbackWarning, match="fault injection"):
+            sim = Simulator(default_hierarchy(), engine="batch")
+        assert sim.engine_used == "fast"
+        # "fast" under faults needs no downgrade and must stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineFallbackWarning)
+            assert Simulator(default_hierarchy(),
+                             engine="fast").engine_used == "fast"
+
+
+def test_compatible_requests_warn_nothing():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EngineFallbackWarning)
+        for engine in ("batch", "fast", "reference"):
+            assert Simulator(default_hierarchy(),
+                             engine=engine).engine_used == engine
 
 
 def test_metrics_observability_parity():
@@ -126,6 +162,9 @@ def _both_engines(trace, requests):
                          engine="reference")
     fast = simulate(trace, requests, default_hierarchy(), "t",
                     engine="fast")
+    batch = simulate(trace, requests, default_hierarchy(), "t",
+                     engine="batch")
+    assert batch == reference
     return fast, reference
 
 
@@ -180,3 +219,156 @@ def test_assured_miss_blocks_that_are_prefetch_targets_stay_scalar():
     fast, reference = _both_engines(trace, requests)
     assert fast == reference
     assert fast.pf_useful >= 1
+
+
+# -- batch-engine window planner ----------------------------------------------
+#
+# The batch engine segments each replay into interaction-free windows
+# at prefetch trigger points.  These tests pin the planner's invariants
+# on its edge cases and the driver's fallback behaviour.
+
+from repro.sim.fast_engine import batch as batch_module  # noqa: E402
+from repro.sim.fast_engine.planner import (  # noqa: E402
+    MAX_KERNEL_INSTR_ID,
+    Window,
+    plan_replay,
+    segment_windows,
+)
+
+
+def _mini_trace(ids_blocks, name="t"):
+    accesses = [MemoryAccess(instr_id=i, pc=0x4, address=b << 6)
+                for i, b in ids_blocks]
+    total = max((i for i, _ in ids_blocks), default=0) + 1
+    return Trace(name=name, accesses=accesses, total_instructions=total)
+
+
+def _assert_tiling(windows, n, trigger_positions):
+    """The planner's documented invariants, checked wholesale."""
+    cursor = 0
+    for w in windows:
+        assert w.start == cursor and w.stop > w.start
+        cursor = w.stop
+    assert cursor == n
+    triggers = set(int(p) for p in trigger_positions)
+    seen_coupled = False
+    for w in windows:
+        if w.kind == "coupled":
+            assert w.start in triggers
+            seen_coupled = True
+        else:
+            assert w.kind == "free"
+            assert not seen_coupled  # free windows precede coupled ones
+
+
+def test_planner_empty_trace():
+    trace = Trace(name="t", accesses=[], total_instructions=0)
+    plan = plan_replay(trace.arrays(), {})
+    assert plan.n == 0 and plan.kernel_eligible
+    assert plan.windows() == []
+    assert plan.free_accesses == 0
+    fast, reference = _both_engines(trace, ())
+    assert fast == reference
+
+
+def test_planner_single_access_trace():
+    trace = _mini_trace([(10, 1 << 20)])
+    # Prefetch-free: one free window spanning the whole (tiny) trace.
+    plan = plan_replay(trace.arrays(), {})
+    assert plan.windows() == [Window(0, 1, "free")]
+    assert plan.free_accesses == 1
+    # Triggered on its only access: one coupled window, no free prefix.
+    plan = plan_replay(trace.arrays(), {10: [1 << 21]})
+    assert plan.windows() == [Window(0, 1, "coupled")]
+    assert plan.free_accesses == 0
+    fast, reference = _both_engines(
+        trace, [PrefetchRequest(trigger_instr_id=10,
+                                address=(1 << 21) << 6)])
+    assert fast == reference
+
+
+def test_planner_windows_tile_exactly():
+    ids_blocks = [((k + 1) * 10, (1 << 20) + k) for k in range(20)]
+    trace = _mini_trace(ids_blocks)
+    by_trigger = {50: [1 << 21], 120: [(1 << 21) + 1],
+                  200: [(1 << 21) + 2]}
+    plan = plan_replay(trace.arrays(), by_trigger)
+    windows = plan.windows()
+    _assert_tiling(windows, 20, plan.trigger_positions)
+    # Positions 4, 11, 19 trigger; [0, 4) is the free prefix.
+    assert windows == [Window(0, 4, "free"), Window(4, 11, "coupled"),
+                       Window(11, 19, "coupled"), Window(19, 20, "coupled")]
+    assert plan.free_accesses == 4
+
+
+def test_fill_on_window_boundary_is_bit_identical():
+    """A prefetch whose fill completes exactly when the next window's
+    first access dispatches: the boundary access belongs to a coupled
+    window, so the fill must be visible to it in every engine."""
+    gap = 40  # wide instruction gap: fill completes before re-demand
+    ids_blocks = [((k + 1) * gap, (1 << 20) + k) for k in range(30)]
+    target = 1 << 21
+    ids_blocks.append(((31) * gap, target))  # boundary access re-demands
+    trace = _mini_trace(ids_blocks)
+    requests = [PrefetchRequest(trigger_instr_id=gap, address=target << 6),
+                PrefetchRequest(trigger_instr_id=15 * gap,
+                                address=(target + 1) << 6)]
+    fast, reference = _both_engines(trace, requests)
+    assert fast == reference
+    assert fast.pf_useful >= 1
+
+
+def test_planner_rejects_non_monotone_ids():
+    trace = _mini_trace([(10, 1 << 20), (30, (1 << 20) + 1),
+                         (20, (1 << 20) + 2)])
+    plan = plan_replay(trace.arrays(), {})
+    assert not plan.kernel_eligible
+    assert "monotone" in plan.fallback_reason
+    assert plan.windows() == [Window(0, 3, "coupled")]
+    assert plan.free_accesses == 0
+    # The replay still runs (scalar fallback) and stays bit-identical.
+    fast, reference = _both_engines(trace, ())
+    assert fast == reference
+
+
+def test_planner_rejects_oversized_instruction_ids():
+    trace = _mini_trace([(10, 1 << 20),
+                         (MAX_KERNEL_INSTR_ID + 7, (1 << 20) + 1)])
+    plan = plan_replay(trace.arrays(), {})
+    assert not plan.kernel_eligible
+    assert "bound" in plan.fallback_reason
+
+
+def test_first_touch_prefetch_targets_stay_coupled():
+    """A first-touch block that is also a prefetch target must not be
+    classified as an assured miss once a trigger precedes it — the
+    whole suffix from the first trigger is coupled."""
+    ids_blocks = [((k + 1) * 10, (1 << 20) + k) for k in range(10)]
+    target = (1 << 20) + 5  # first-touched at position 5, prefetched at 0
+    trace = _mini_trace(ids_blocks)
+    plan = plan_replay(trace.arrays(), {10: [target]})
+    assert plan.free_accesses == 0  # trigger at position 0: no free span
+    assert plan.windows()[0].kind == "coupled"
+    fast, reference = _both_engines(
+        trace, [PrefetchRequest(trigger_instr_id=10, address=target << 6)])
+    assert fast == reference
+
+
+def test_segment_windows_no_triggers_is_one_free_window():
+    import numpy as np
+
+    assert segment_windows(0, np.empty(0, dtype=np.int64)) == []
+    assert segment_windows(7, np.empty(0, dtype=np.int64)) == \
+        [Window(0, 7, "free")]
+
+
+def test_batch_without_kernel_falls_back_bit_identically(monkeypatch):
+    """No C compiler (or REPRO_NO_SIMKERNEL=1) must only cost speed."""
+    trace = _trace("cc-5")
+    requests = _requests("cc-5", "nextline")
+    reference = simulate(trace, requests, default_hierarchy(), "nextline",
+                         engine="reference")
+    monkeypatch.setattr(batch_module, "_load_replay_kernel", lambda: None)
+    batch = simulate(trace, requests, default_hierarchy(), "nextline",
+                     engine="batch")
+    assert batch == reference
