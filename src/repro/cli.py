@@ -56,6 +56,21 @@ Four subcommands, installed as the ``repro`` console script::
         when it is both statistically significant and larger than
         ``--max-regress``.  Exits 1 on a regression, 2 on usage errors.
 
+    repro campaign run SPEC [--dir DIR] [--workers N] [--stop-after K]
+              [--inject-faults SPEC]
+    repro campaign resume DIR [--workers N] [--stop-after K]
+    repro campaign status DIR
+        Durable experiment campaigns: ``run`` expands a YAML/JSON spec
+        into a campaign directory (``campaign.json`` + append-only
+        ``queue.jsonl`` lease log + shared ``ledger.jsonl``) and drives
+        it with leased worker processes — expired leases are reclaimed,
+        failed cells retry with backoff, poison cells are quarantined,
+        and SIGINT/SIGTERM flush so ``resume`` continues bit-identically
+        (completed cells are never re-executed).  ``status`` prints a
+        read-only snapshot, safe mid-campaign.  Exits 0 when the
+        campaign completed or paused cleanly, 1 when any cell is
+        quarantined, 2 on configuration errors.
+
 Every ``run``/``experiment``/``bench`` invocation also appends a run
 ledger — manifest (git SHA, config fingerprint, seeds, argv) plus
 per-cell provenance — under ``--results-dir`` (default ``results/``,
@@ -495,7 +510,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .harness.history import DEFAULT_HISTORY_PATH, read_history
 
-    events = ledger = metrics = history = None
+    events = ledger = metrics = history = campaign = None
     try:
         if args.events:
             events = read_events(args.events)
@@ -512,25 +527,162 @@ def _cmd_report(args: argparse.Namespace) -> int:
             # Opt-out with --history "" ; otherwise pick up the repo's
             # trend file automatically when it exists.
             history = read_history(DEFAULT_HISTORY_PATH)
+        if args.campaign:
+            from .campaign import LEDGER_FILE, campaign_summary
+
+            campaign = campaign_summary(args.campaign)
+            if ledger is None:
+                # The campaign's shared ledger doubles as the run
+                # ledger: cells/ranking render without a second flag.
+                ledger_path = os.path.join(args.campaign, LEDGER_FILE)
+                if os.path.exists(ledger_path):
+                    ledger = read_ledger(ledger_path)
     except (OSError, ValueError, ConfigError) as exc:
         print(f"error: {exc}")
         return 2
     if events is None and ledger is None and metrics is None \
-            and history is None:
+            and history is None and campaign is None:
         print("error: nothing to report "
-              "(pass an events file and/or --ledger/--metrics/--history)")
+              "(pass an events file and/or "
+              "--ledger/--metrics/--history/--campaign)")
         return 2
     if args.html:
         run_id = (ledger.get("manifest") or {}).get("run_id") if ledger \
             else None
-        title = (f"repro run {run_id}" if run_id else "repro run dashboard")
+        title = (f"repro campaign {campaign['name']}" if campaign
+                 else f"repro run {run_id}" if run_id
+                 else "repro run dashboard")
         write_dashboard(args.html, ledger=ledger, events=events,
-                        metrics=metrics, history=history, title=title)
+                        metrics=metrics, history=history,
+                        campaign=campaign, title=title)
         print(f"[dashboard written to {args.html}]")
     if events is not None:
         blocks = [format_table(headers, rows, title=title)
                   for title, headers, rows in summarize_events(events)]
         print("\n\n".join(blocks))
+    return 0
+
+
+def _print_campaign_result(result: dict) -> int:
+    counts = result["counts"]
+    state = "finished" if result["finished"] else "paused"
+    print(f"\n[campaign] {state}: "
+          f"{counts.get('done', 0)} done, "
+          f"{counts.get('pending', 0)} pending, "
+          f"{counts.get('leased', 0)} leased, "
+          f"{counts.get('quarantined', 0)} quarantined "
+          f"({result['wall_s']:.1f}s)")
+    stats = result["stats"]
+    extras = []
+    if stats.get("retries"):
+        extras.append(f"{stats['retries']} retried")
+    if stats.get("expirations"):
+        extras.append(f"{stats['expirations']} lease(s) expired")
+    if stats.get("worker_crashes"):
+        extras.append(f"{stats['worker_crashes']} worker crash(es)")
+    if stats.get("serial_fallback"):
+        extras.append("serial fallback")
+    if extras:
+        print(f"[campaign] resilience: {', '.join(extras)}")
+    if result["quarantined"]:
+        print("[campaign] quarantined (poison) cells:")
+        for key in result["quarantined"]:
+            print(f"  - {key}")
+        return 1
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import Campaign, load_spec
+
+    if args.inject_faults in ("help", "list"):
+        _print_fault_points()
+        return 0
+    try:
+        spec = load_spec(args.spec)
+        directory = args.dir or os.path.join("campaigns", spec.name)
+        campaign = Campaign.create(
+            directory, spec, argv=getattr(args, "_argv", None),
+            fault_spec=args.inject_faults or None)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"[campaign] {spec.name}: {len(campaign.queue.cells)} cell(s) "
+          f"-> {directory}")
+    result = campaign.run(workers=args.workers, stop_after=args.stop_after)
+    if not result["finished"]:
+        print(f"[campaign] resume with: repro campaign resume {directory}")
+    return _print_campaign_result(result)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from .campaign import Campaign
+
+    try:
+        campaign = Campaign.open(args.dir)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    campaign.reconcile()
+    if campaign.stats.reconciled:
+        print(f"[campaign] reconciled {campaign.stats.reconciled} "
+              "ledger-recorded cell(s); they will not be re-executed")
+    if campaign.fault_spec:
+        print(f"[campaign] re-arming stored faults: {campaign.fault_spec}")
+    campaign.ledger.append({
+        "kind": "resume",
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "argv": list(getattr(args, "_argv", None) or []),
+    })
+    result = campaign.run(workers=args.workers, stop_after=args.stop_after)
+    if not result["finished"]:
+        print(f"[campaign] resume with: repro campaign resume {args.dir}")
+    return _print_campaign_result(result)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import campaign_summary
+
+    try:
+        summary = campaign_summary(args.dir)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    counts = summary["counts"]
+    rows = [
+        ["name", summary["name"]],
+        ["run id", summary["run_id"]],
+        ["created (UTC)", summary["created_utc"]],
+        ["fault spec", summary["fault_spec"] or "-"],
+        ["cells", summary["cells"]],
+        ["done", counts.get("done", 0)],
+        ["leased", counts.get("leased", 0)],
+        ["pending", counts.get("pending", 0)],
+        ["quarantined", counts.get("quarantined", 0)],
+        ["retries", summary["retries"]],
+        ["lease expirations", summary["expirations"]],
+        ["torn queue events", summary["torn_events"]],
+        ["ledger cells", summary["ledger_cells"]],
+        ["state", "finished" if summary["finished"] else "running/paused"],
+    ]
+    print(format_table(["field", "value"], rows,
+                       title=f"campaign status: {args.dir}"))
+    if summary["per_worker"]:
+        print()
+        print(format_table(
+            ["worker", "cells completed"],
+            [[worker, done]
+             for worker, done in summary["per_worker"].items()],
+            title="per-worker throughput"))
+    if summary["quarantined"]:
+        print()
+        print(format_table(
+            ["cell", "workload", "prefetcher", "seed", "attempts", "error"],
+            [[cell["index"], cell["workload"], cell["prefetcher"],
+              cell["seed"], cell["attempts"], cell["error"] or "-"]
+             for cell in summary["quarantined"]],
+            title="quarantined (poison) cells"))
+        return 1
     return 0
 
 
@@ -690,9 +842,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf-trend history JSONL for the dashboard timeline "
              f"(default: {DEFAULT_HISTORY_PATH} when present; bare "
              "--history disables the automatic pickup)")
+    p_rep.add_argument("--campaign", metavar="DIR",
+                       help="campaign directory: adds a live campaign "
+                            "section (queue depth, per-worker "
+                            "throughput, quarantine) to the dashboard "
+                            "and defaults --ledger to its shared "
+                            "ledger; regenerable mid-campaign")
     p_rep.add_argument("--html", metavar="OUT.html",
                        help="write a self-contained HTML dashboard")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_camp = sub.add_parser(
+        "campaign", help="durable multi-process experiment campaigns")
+    camp_sub = p_camp.add_subparsers(dest="verb", required=True)
+    p_crun = camp_sub.add_parser(
+        "run", help="expand a campaign spec and drive it to completion")
+    p_crun.add_argument("spec", help="campaign spec file (JSON or YAML)")
+    p_crun.add_argument("--dir", metavar="DIR",
+                        help="campaign directory "
+                             "(default campaigns/<spec name>)")
+    p_crun.add_argument("--workers", type=int, default=None,
+                        help="worker processes (overrides the spec; "
+                             "0 = serial in-process)")
+    p_crun.add_argument("--stop-after", type=int, default=None, metavar="K",
+                        help="pause after K completed cells (for chaos "
+                             "tests and smoke runs; resume continues)")
+    _add_fault_flag(p_crun)
+    p_crun.set_defaults(func=_cmd_campaign_run)
+    p_cres = camp_sub.add_parser(
+        "resume", help="continue an interrupted campaign bit-identically")
+    p_cres.add_argument("dir", help="campaign directory")
+    p_cres.add_argument("--workers", type=int, default=None,
+                        help="worker processes (overrides the spec; "
+                             "0 = serial in-process)")
+    p_cres.add_argument("--stop-after", type=int, default=None, metavar="K",
+                        help="pause again after K completed cells")
+    p_cres.set_defaults(func=_cmd_campaign_resume)
+    p_cstat = camp_sub.add_parser(
+        "status", help="read-only campaign snapshot (safe mid-campaign)")
+    p_cstat.add_argument("dir", help="campaign directory")
+    p_cstat.set_defaults(func=_cmd_campaign_status)
 
     p_cmp = sub.add_parser(
         "compare", help="diff two run artifacts (bench reports or ledgers)")

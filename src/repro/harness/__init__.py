@@ -29,7 +29,13 @@ from .runner import (
     run_prefetcher,
 )
 from .reporting import format_table, geometric_mean, summarize_events
-from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .experiments import (
+    CAMPAIGN_GRIDS,
+    EXPERIMENTS,
+    ExperimentResult,
+    campaign_spec_for,
+    run_experiment,
+)
 from .history import (
     DEFAULT_HISTORY_PATH,
     append_history,
@@ -107,7 +113,9 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "summarize_events",
+    "CAMPAIGN_GRIDS",
     "EXPERIMENTS",
+    "campaign_spec_for",
     "ExperimentResult",
     "run_experiment",
 ]

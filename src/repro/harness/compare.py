@@ -195,13 +195,13 @@ def _cell_index(parsed: Dict) -> Dict[str, Dict]:
 def _group_samples(parsed: Dict) -> Dict[str, Dict[str, List[float]]]:
     """Per-(workload:prefetcher) sample vectors pooled across seeds.
 
-    Failed cells are excluded — their zeroed placeholder metrics are
-    resilience bookkeeping, not measurements.
+    Failed and quarantined cells are excluded — their zeroed
+    placeholder metrics are resilience bookkeeping, not measurements.
     """
     groups: Dict[str, Dict[str, List[float]]] = defaultdict(
         lambda: defaultdict(list))
     for cell in parsed.get("cells", []):
-        if cell.get("outcome") == "failed":
+        if cell.get("outcome") in ("failed", "quarantined"):
             continue
         label = f"{cell.get('workload', '?')}:{cell.get('prefetcher', '?')}"
         metrics = cell.get("metrics") or {}

@@ -133,7 +133,8 @@ def _cells_section(cells: List[Dict]) -> str:
             metrics.get("issued", 0), metrics.get("useful", 0),
             metrics.get("late", 0), outcome, cell.get("attempts", 1),
             "yes" if cell.get("restored") else ""])
-        classes.append("bad" if outcome == "failed" else "")
+        classes.append("bad" if outcome in ("failed", "quarantined")
+                       else "")
     return ("<h2>Grid cells</h2>"
             + _table(headers, rows, row_classes=classes))
 
@@ -182,7 +183,7 @@ def _ranking_section(cells: List[Dict]) -> str:
 
     samples: Dict[str, List[float]] = defaultdict(list)
     for cell in cells:
-        if cell.get("outcome") == "failed":
+        if cell.get("outcome") in ("failed", "quarantined"):
             continue
         metrics = cell.get("metrics") or {}
         if "speedup" in metrics:
@@ -370,6 +371,81 @@ def _profile_section(metrics: Dict) -> str:
             + _table(["phase", "calls", "wall s"], rows))
 
 
+def _campaign_section(campaign: Dict) -> str:
+    """Live campaign state: queue depth, per-worker throughput, faults.
+
+    ``campaign`` is a :func:`repro.campaign.supervisor.campaign_summary`
+    snapshot — built from the queue event log and ledger, both of which
+    tolerate in-flight appends, so this section regenerates correctly
+    *mid-campaign*.
+    """
+    counts = campaign.get("counts") or {}
+    total = int(campaign.get("cells") or 0)
+    state = ("complete" if campaign.get("finished")
+             else "in progress / interrupted")
+    parts = [
+        "<h2>Campaign</h2>",
+        f"<p>campaign <b>{_esc(campaign.get('name', '?'))}</b> "
+        f"(run {_esc(campaign.get('run_id', '?'))}): {state} &mdash; "
+        f"{_fmt(counts.get('done', 0))} done, "
+        f"{_fmt(counts.get('leased', 0))} leased, "
+        f"{_fmt(counts.get('pending', 0))} pending, "
+        f"{_fmt(counts.get('quarantined', 0))} quarantined "
+        f"of {total} cell(s).</p>"]
+    if campaign.get("fault_spec"):
+        parts.append(f"<p>armed faults: "
+                     f"<code>{_esc(campaign['fault_spec'])}</code></p>")
+
+    # Queue depth over time: outstanding cells after each completion.
+    done_times = sorted(
+        float(event.get("t", 0.0))
+        for event in (campaign.get("events") or [])
+        if event.get("kind") in ("done", "quarantine"))
+    if len(done_times) >= 2:
+        t0, t1 = done_times[0], done_times[-1]
+        span = (t1 - t0) or 1.0
+        width, height, pad = 640, 160, 30
+        depth = total
+        points = [(0.0, depth)]
+        for t in done_times:
+            depth -= 1
+            points.append(((t - t0) / span, depth))
+        polyline = " ".join(
+            f"{pad + (width - 2 * pad) * x:.1f},"
+            f"{height - pad - (height - 2 * pad) * y / max(1, total):.1f}"
+            for x, y in points)
+        parts.append(
+            f'<svg width="{width}" height="{height}" role="img">'
+            f'<polyline points="{polyline}" fill="none" stroke="#4361ee" '
+            'stroke-width="2"></polyline>'
+            f'<text x="{pad}" y="{height - 8}" font-size="11">'
+            f"queue depth over {_fmt(span)}s "
+            f"({total} &rarr; {depth} outstanding)</text></svg>")
+
+    per_worker = campaign.get("per_worker") or {}
+    if per_worker:
+        parts.append("<h3>Per-worker throughput</h3>"
+                     + _table(["worker", "cells completed"],
+                              sorted(per_worker.items())))
+    parts.append("<h3>Campaign resilience</h3>" + _table(
+        ["event", "count"],
+        [["retries", campaign.get("retries", 0)],
+         ["lease expirations", campaign.get("expirations", 0)],
+         ["quarantined cells", counts.get("quarantined", 0)],
+         ["torn queue events", campaign.get("torn_events", 0)]]))
+    quarantined = campaign.get("quarantined") or []
+    if quarantined:
+        rows = [[q.get("index"), q.get("workload"), q.get("prefetcher"),
+                 q.get("seed"), q.get("attempts"), q.get("error", "")]
+                for q in quarantined]
+        parts.append(
+            "<h3>Quarantined (poison) cells</h3>"
+            + _table(["index", "workload", "prefetcher", "seed",
+                      "attempts", "last error"], rows,
+                     row_classes=["bad"] * len(rows)))
+    return "".join(parts)
+
+
 def _finish_section(finish: Optional[Dict]) -> str:
     if finish is None:
         return ('<h2>Run status</h2><p class="bad">No finish record — '
@@ -393,6 +469,7 @@ def render_dashboard(ledger: Optional[Dict] = None,
                      events: Optional[List[Dict]] = None,
                      metrics: Optional[Dict] = None,
                      history: Optional[List[Dict]] = None,
+                     campaign: Optional[Dict] = None,
                      title: str = "repro run dashboard") -> str:
     """Render the artifacts of one run as a single HTML document.
 
@@ -400,9 +477,13 @@ def render_dashboard(ledger: Optional[Dict] = None,
     are simply omitted.  The output embeds its own CSS and SVG — no
     scripts, no external fetches.  ``history`` is a list of perf-trend
     entries (:func:`repro.harness.history.read_history`); fingerprints
-    with two or more entries render a timeline.
+    with two or more entries render a timeline.  ``campaign`` is a
+    :func:`repro.campaign.supervisor.campaign_summary` snapshot, safe
+    to regenerate while the campaign is still running.
     """
     sections: List[str] = []
+    if campaign:
+        sections.append(_campaign_section(campaign))
     if ledger:
         manifest = ledger.get("manifest")
         if manifest:
@@ -442,10 +523,11 @@ def write_dashboard(path, ledger: Optional[Dict] = None,
                     events: Optional[List[Dict]] = None,
                     metrics: Optional[Dict] = None,
                     history: Optional[List[Dict]] = None,
+                    campaign: Optional[Dict] = None,
                     title: str = "repro run dashboard") -> None:
     """Render and atomically write the dashboard to ``path``."""
     from ..resilience.atomic import atomic_write_text
 
     atomic_write_text(path, render_dashboard(
         ledger=ledger, events=events, metrics=metrics, history=history,
-        title=title))
+        campaign=campaign, title=title))

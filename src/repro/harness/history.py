@@ -100,13 +100,16 @@ def append_history(report: Dict, path: Union[str, Path],
 def read_history(path: Union[str, Path]) -> List[Dict[str, object]]:
     """Parse a history file into entry dicts, in file (= time) order.
 
-    Tolerates one torn trailing line (crash mid-append); corruption
-    anywhere else raises :class:`~repro.errors.ConfigError`.  Unknown
-    future fields pass through untouched.
+    Tolerates one torn trailing line (crash mid-append), even one
+    truncated mid-UTF-8 sequence; corruption anywhere else raises
+    :class:`~repro.errors.ConfigError`.  Unknown future fields pass
+    through untouched.
     """
+    from ..resilience.atomic import tolerant_read_text
+
     path = Path(path)
     try:
-        lines = path.read_text(encoding="utf-8").splitlines()
+        lines = tolerant_read_text(path).splitlines()
     except OSError as exc:
         raise ConfigError(f"cannot read perf history {path}: {exc}") from exc
     last_payload_lineno = max(

@@ -40,7 +40,7 @@ from ..prefetchers import (
 )
 from ..prefetchers.base import Prefetcher
 from ..sim import SimResult, simulate
-from ..sim.simulator import HierarchyConfig
+from ..sim.simulator import HierarchyConfig, Simulator
 from ..traces import make_trace
 from ..types import Trace
 
@@ -150,8 +150,10 @@ class EvalRow:
     #: Wall-clock breakdown of this row's phases (seconds), e.g.
     #: ``{"prefetch_file_s": ..., "replay_s": ...}``.
     timings: Dict[str, float] = field(default_factory=dict)
-    #: Resilience accounting: empty for a clean run; otherwise keys like
-    #: ``outcome`` ("ok"/"retried"/"failed"), ``attempts``, ``error``,
+    #: Resilience accounting: ``engine_used`` (the replay engine that
+    #: actually ran, after any fallback) on every simulated row, plus —
+    #: when resilience machinery engaged — keys like ``outcome``
+    #: ("ok"/"retried"/"failed"), ``attempts``, ``error``,
     #: ``prefetcher_errors``, ``quarantined`` (see docs/architecture.md).
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -190,16 +192,15 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
     prefetcher.publish_telemetry()
     start = time.perf_counter()
     with obs.profiler.phase("replay"):
-        result = simulate(trace, requests, config=hierarchy,
-                          prefetcher_name=prefetcher.name, obs=obs,
-                          engine=engine)
+        sim = Simulator(hierarchy, obs=obs, engine=engine)
+        result = sim.run(trace, requests, prefetcher.name)
     timings["replay_s"] = time.perf_counter() - start
     if engine == "batch":
         # The engine-explicit alias ``repro compare --stats`` pairs on;
         # only batch-engine ledgers carry it, so comparisons against
         # pre-batch artifacts degrade to the shared ``replay_s`` key.
         timings["replay_batch_s"] = timings["replay_s"]
-    extras: Dict[str, object] = {}
+    extras: Dict[str, object] = {"engine_used": sim.engine_used}
     if prefetcher.errors:
         extras["prefetcher_errors"] = prefetcher.errors
         extras["quarantined"] = prefetcher.quarantined
@@ -217,6 +218,25 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
         result=result,
         timings=timings,
         extras=extras)
+
+
+def eval_row_metrics(row: EvalRow) -> Dict[str, object]:
+    """The canonical ledger metrics dict for one row.
+
+    Shared by the grid's ledger recording and the campaign supervisor
+    so every cell record — however it was executed — carries the same
+    comparable metric keys.
+    """
+    return {
+        "ipc": row.ipc,
+        "speedup": row.speedup,
+        "accuracy": row.accuracy,
+        "coverage": row.coverage,
+        "issued": row.issued,
+        "useful": row.useful,
+        "late": row.result.pf_late,
+        "dropped": row.result.extra.get("pf_dropped", 0),
+    }
 
 
 def _worker_faults(attempt: int, index: Optional[int]) -> None:
@@ -391,16 +411,7 @@ class Evaluation:
         if ledger is None:
             return
         workload, spec = cell
-        metrics = {
-            "ipc": row.ipc,
-            "speedup": row.speedup,
-            "accuracy": row.accuracy,
-            "coverage": row.coverage,
-            "issued": row.issued,
-            "useful": row.useful,
-            "late": row.result.pf_late,
-            "dropped": row.result.extra.get("pf_dropped", 0),
-        }
+        metrics = eval_row_metrics(row)
         error = row.extras.get("error")
         ledger.record_cell(
             cell=_cell_label(index, workload, spec),
@@ -413,7 +424,8 @@ class Evaluation:
             outcome=str(row.extras.get("outcome", "ok")),
             attempts=int(row.extras.get("attempts", 1)),
             restored=restored,
-            error=str(error) if error is not None else None)
+            error=str(error) if error is not None else None,
+            engine_used=row.extras.get("engine_used"))
 
     def _publish_resilience(self, stats) -> None:
         resilience_supervisor.note_stats(stats)

@@ -162,7 +162,9 @@ class RunLedger:
                     timings: Optional[Dict[str, float]] = None,
                     outcome: str = "ok", attempts: int = 1,
                     restored: bool = False,
-                    error: Optional[str] = None) -> None:
+                    error: Optional[str] = None,
+                    engine_used: Optional[str] = None,
+                    worker: Optional[str] = None) -> None:
         """Record provenance for one completed (or restored) grid cell."""
         record: Dict[str, object] = {
             "kind": "cell",
@@ -177,9 +179,32 @@ class RunLedger:
             "metrics": dict(metrics),
             "timings": dict(timings or {}),
         }
+        if engine_used is not None:
+            record["engine_used"] = engine_used
+        if worker is not None:
+            record["worker"] = worker
         if error is not None:
             record["error"] = error
         self.append(record)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunLedger":
+        """Reopen an existing ledger so new records append after old ones.
+
+        Campaign resume reopens the interrupted run's ledger: previously
+        recorded cells stay in place (and are never re-executed), new
+        cells append behind them under the original ``run_id``.  All
+        records — including kinds this reader does not interpret — are
+        preserved verbatim on the next flush.
+        """
+        path = Path(path)
+        records = _read_records(path)
+        run_id = next(
+            (str(record["run_id"]) for record in records
+             if record.get("run_id")), None)
+        ledger = cls(path, run_id if run_id is not None else new_run_id())
+        ledger._records = records
+        return ledger
 
     def finish(self, wall_s: float, status: str = "ok",
                resilience: Optional[Dict[str, object]] = None) -> None:
@@ -215,23 +240,20 @@ def finish_run(ledger: RunLedger, wall_s: float, status: str = "ok",
         set_active_ledger(None)
 
 
-def read_ledger(path: Union[str, Path]) -> Dict[str, object]:
-    """Parse a ledger back into ``{"manifest", "cells", "experiments",
-    "finish"}``.
+def _read_records(path: Path) -> List[Dict[str, object]]:
+    """Parse a ledger file into raw records, in file order.
 
-    Tolerates one torn trailing line (crash mid-append); corruption
-    anywhere else raises ``ValueError``.  ``finish`` is ``None`` for a
-    run that never completed.
+    Tolerates one torn trailing line (crash mid-append), including a
+    tail truncated mid-UTF-8-sequence; corruption anywhere else raises
+    ``ValueError``.
     """
-    path = Path(path)
-    lines = path.read_text(encoding="utf-8").splitlines()
+    from ..resilience.atomic import tolerant_read_text
+
+    lines = tolerant_read_text(path).splitlines()
     last_payload_lineno = max(
         (i for i, line in enumerate(lines, start=1) if line.strip()),
         default=0)
-    manifest: Optional[Dict[str, object]] = None
-    cells: List[Dict[str, object]] = []
-    experiments: List[Dict[str, object]] = []
-    finish: Optional[Dict[str, object]] = None
+    records: List[Dict[str, object]] = []
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -243,6 +265,26 @@ def read_ledger(path: Union[str, Path]) -> Dict[str, object]:
                 break  # torn tail: drop it, keep the parsed prefix
             raise ValueError(
                 f"{path}:{lineno}: corrupt ledger line ({exc})") from None
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def read_ledger(path: Union[str, Path]) -> Dict[str, object]:
+    """Parse a ledger back into ``{"manifest", "cells", "experiments",
+    "finish"}``.
+
+    Tolerates one torn trailing line (crash mid-append), even one that
+    ends mid-UTF-8 sequence; corruption anywhere else raises
+    ``ValueError``.  ``finish`` is ``None`` for a run that never
+    completed.
+    """
+    path = Path(path)
+    manifest: Optional[Dict[str, object]] = None
+    cells: List[Dict[str, object]] = []
+    experiments: List[Dict[str, object]] = []
+    finish: Optional[Dict[str, object]] = None
+    for record in _read_records(path):
         kind = record.get("kind")
         if kind == "manifest":
             manifest = record

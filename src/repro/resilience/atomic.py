@@ -18,14 +18,36 @@ from typing import Union
 PathLike = Union[str, Path]
 
 
-def atomic_write_text(path: PathLike, text: str, fsync: bool = False) -> None:
-    """Write ``text`` to ``path`` atomically.
+def _fsync_dir(directory: PathLike) -> None:
+    """Best-effort fsync of a directory entry.
+
+    After ``os.replace`` the *data* is durable but the rename itself
+    lives in the directory; syncing the directory makes the new name
+    survive a power cut too.  Platforms (or filesystems) that refuse to
+    open/fsync directories are tolerated silently — durability degrades
+    to crash consistency there, it never breaks the write.
+    """
+    try:
+        dir_fd = os.open(str(directory) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(path: PathLike, text: str, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
 
     The temp file lives in the destination directory so the final
-    ``os.replace`` is a same-filesystem rename (atomic on POSIX).  With
-    ``fsync`` the data is flushed to disk before the rename — used by
-    the checkpoint journal, where the record must survive a power cut,
-    not just a process crash.
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).  By
+    default the data is fsynced before the rename and the directory is
+    (best-effort) fsynced after it, so the write survives a power cut,
+    not just a process crash.  Pass ``fsync=False`` for throwaway
+    artifacts where crash consistency is enough.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -37,6 +59,8 @@ def atomic_write_text(path: PathLike, text: str, fsync: bool = False) -> None:
                 fh.flush()
                 os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        if fsync:
+            _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -47,8 +71,26 @@ def atomic_write_text(path: PathLike, text: str, fsync: bool = False) -> None:
 
 def atomic_write_json(path: PathLike, payload, indent: int = 2,
                       sort_keys: bool = False, default=None,
-                      fsync: bool = False) -> None:
+                      fsync: bool = True) -> None:
     """Serialise ``payload`` and write it atomically as JSON + newline."""
     text = json.dumps(payload, indent=indent, sort_keys=sort_keys,
                       default=default) + "\n"
     atomic_write_text(path, text, fsync=fsync)
+
+
+def tolerant_read_text(path: PathLike) -> str:
+    """Read UTF-8 text, tolerating a torn multibyte sequence at EOF.
+
+    A crash mid-append can truncate the final record *inside* a UTF-8
+    multibyte sequence; a strict decode then raises before line-level
+    torn-tail handling ever sees the file.  Decoding falls back to
+    ``errors="replace"`` so the damage surfaces as U+FFFD characters on
+    the affected line — torn *tails* are then dropped by the callers'
+    last-line JSON check, while corruption anywhere else still fails
+    JSON parsing and is reported as corrupt.
+    """
+    data = Path(path).read_bytes()
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError:
+        return data.decode("utf-8", errors="replace")

@@ -15,6 +15,15 @@ places in the codebase that can be made to misbehave on demand:
                         ``cells``, ``attempts`` — default first attempt only)
 ``worker.hang``         sleep inside a grid worker (params ``seconds``,
                         default 30; ``cells``; ``attempts``)
+``campaign.worker_crash``  ``os._exit`` inside a campaign worker mid-cell
+                        (params ``cells``, ``attempts`` — default first
+                        attempt only)
+``campaign.lease_expire``  a campaign worker stops heartbeating and sleeps
+                        past its lease TTL (params ``seconds`` — default
+                        1.5x the TTL; ``cells``; ``attempts``)
+``campaign.queue_torn_write``  truncate one campaign queue append
+                        mid-record, possibly mid-UTF-8 (param ``count``,
+                        default 1)
 ======================  ====================================================
 
 Plans are deterministic: every point draws from its own
@@ -48,11 +57,22 @@ FAULT_POINTS: Dict[str, str] = {
     "snn.weight_nan": "poison an SNN weight column with NaN (after=50)",
     "worker.crash": "kill a grid worker process (cells=all, attempts=1)",
     "worker.hang": "hang a grid worker (seconds=30, attempts=1)",
+    "campaign.worker_crash":
+        "kill a campaign worker mid-cell (cells=all, attempts=1)",
+    "campaign.lease_expire":
+        "suppress a campaign worker's heartbeats and outlive its lease "
+        "(attempts=1)",
+    "campaign.queue_torn_write":
+        "truncate a campaign queue append mid-record (count=1)",
 }
 
 #: Points whose default is to fire on the first attempt of a cell only,
 #: so a bounded retry policy recovers deterministically.
-_FIRST_ATTEMPT_ONLY = ("worker.crash", "worker.hang")
+_FIRST_ATTEMPT_ONLY = ("worker.crash", "worker.hang",
+                       "campaign.worker_crash", "campaign.lease_expire")
+
+#: Points whose default is to fire a bounded number of times.
+_COUNT_ONE_DEFAULT = ("snn.weight_nan", "campaign.queue_torn_write")
 
 
 class FaultPoint:
@@ -68,7 +88,7 @@ class FaultPoint:
         self.rate = float(self.params.get("rate", 1.0))
         self.after = int(self.params.get("after", 0))
         count = self.params.get("count")
-        if count is None and name == "snn.weight_nan":
+        if count is None and name in _COUNT_ONE_DEFAULT:
             count = 1
         self.count: Optional[int] = None if count is None else int(count)
         attempts = self.params.get("attempts")

@@ -95,3 +95,51 @@ def test_experiment_with_overrides(capsys):
 def test_experiment_rejects_unknown():
     with pytest.raises(SystemExit):
         main(["experiment", "table42"])
+
+
+def test_campaign_run_status_resume_report(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "name": "cli", "workloads": ["cc-5"],
+        "prefetchers": ["nextline", "bo"], "loads": 1000, "workers": 0}))
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", str(spec), "--dir", str(directory),
+                 "--stop-after", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "paused" in out and "resume" in out
+    assert main(["campaign", "status", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign status" in out and "running/paused" in out
+    assert main(["campaign", "resume", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "finished: 2 done" in out
+    assert main(["campaign", "status", str(directory)]) == 0
+    assert "finished" in capsys.readouterr().out
+    html = tmp_path / "dash.html"
+    assert main(["report", "--campaign", str(directory),
+                 "--html", str(html), "--history", ""]) == 0
+    assert "Campaign" in html.read_text()
+
+
+def test_campaign_run_rejects_existing_dir_and_bad_spec(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "name": "dup", "workloads": ["cc-5"],
+        "prefetchers": ["nextline"], "loads": 600, "workers": 0}))
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", str(spec),
+                 "--dir", str(directory)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "run", str(spec),
+                 "--dir", str(directory)]) == 2  # config error, not crash
+    assert "already exists" in capsys.readouterr().out
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "b", "workloads": ["cc-5"],
+                               "prefetchers": ["no-such"]}))
+    assert main(["campaign", "run", str(bad),
+                 "--dir", str(tmp_path / "other")]) == 2
+    assert main(["campaign", "status", str(tmp_path / "nowhere")]) == 2

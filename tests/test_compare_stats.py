@@ -324,6 +324,15 @@ def test_history_tolerates_torn_tail(tmp_path, bench_report):
         read_history(path)
 
 
+def test_history_tolerates_tail_torn_mid_utf8(tmp_path, bench_report):
+    path = tmp_path / "history.jsonl"
+    append_history(bench_report, path)
+    with open(path, "ab") as fh:
+        # Crash mid-append inside a UTF-8 multibyte sequence.
+        fh.write(b'{"workload": "caf\xc3')
+    assert len(read_history(path)) == 1
+
+
 # -------------------------------------------------------- dashboard
 
 def _two_prefetcher_ledger(tmp_path):

@@ -84,6 +84,21 @@ def test_read_ledger_tolerates_torn_tail(tmp_path):
     assert parsed["finish"] is None  # crashed run: no finish record
 
 
+def test_read_ledger_tolerates_tail_torn_mid_utf8(tmp_path):
+    path = tmp_path / "run.jsonl"
+    ledger = RunLedger(path, "r1")
+    ledger.write_manifest("run", [], {})
+    with open(path, "ab") as fh:
+        # Crash mid-append, truncating inside the Euro sign's three-byte
+        # UTF-8 sequence: a strict decode of the file raises before any
+        # line-level torn-tail handling could run.
+        fh.write(b'{"kind": "cell", "cell": "\xe2\x82')
+    parsed = read_ledger(path)
+    assert parsed["manifest"] is not None
+    assert parsed["cells"] == []
+    assert parsed["finish"] is None
+
+
 def test_read_ledger_rejects_interior_corruption(tmp_path):
     path = tmp_path / "run.jsonl"
     path.write_text('{"kind": "manifest"}\nBAD\n{"kind": "finish"}\n')
@@ -97,6 +112,24 @@ def test_read_ledger_skips_unknown_kinds(tmp_path):
                     '{"kind": "from-the-future"}\n')
     parsed = read_ledger(path)
     assert parsed["manifest"]["run_id"] == "r"
+
+
+def test_ledger_load_appends_under_original_run_id(tmp_path):
+    path = tmp_path / "run.jsonl"
+    original = RunLedger(path, "r1")
+    original.write_manifest("campaign", [], {})
+    original.append({"kind": "from-the-future", "payload": 1})
+    reopened = RunLedger.load(path)
+    assert reopened.run_id == "r1"
+    reopened.finish(1.0)
+    parsed = read_ledger(path)
+    assert parsed["manifest"] is not None  # old records preserved
+    assert parsed["finish"]["run_id"] == "r1"  # new ones share the id
+    # Unknown kinds survive the load/flush round trip verbatim.
+    lines = [json.loads(line) for line in
+             path.read_text().splitlines() if line.strip()]
+    assert any(record.get("kind") == "from-the-future"
+               for record in lines)
 
 
 def test_active_ledger_ambient_lifecycle(tmp_path):

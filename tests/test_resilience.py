@@ -217,6 +217,55 @@ def test_atomic_write_preserves_old_content_on_failure(tmp_path):
     assert list(tmp_path.iterdir()) == [target]
 
 
+def test_atomic_write_fsyncs_data_then_directory(tmp_path, monkeypatch):
+    import os as os_mod
+
+    real_fsync = os_mod.fsync
+    synced = []
+
+    def recording_fsync(fd):
+        synced.append(fd)
+        return real_fsync(fd)
+
+    monkeypatch.setattr("repro.resilience.atomic.os.fsync", recording_fsync)
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "durable\n")
+    # One fsync for the temp file's data (before the rename) and one
+    # for the directory entry (after it): power-loss durability.
+    assert len(synced) == 2
+    assert target.read_text() == "durable\n"
+
+
+def test_atomic_write_fsync_opt_out_skips_fsync(tmp_path, monkeypatch):
+    synced = []
+    monkeypatch.setattr("repro.resilience.atomic.os.fsync",
+                        lambda fd: synced.append(fd))
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "throwaway\n", fsync=False)
+    assert synced == []
+    assert target.read_text() == "throwaway\n"
+
+
+def test_atomic_write_tolerates_directory_fsync_failure(tmp_path,
+                                                        monkeypatch):
+    import os as os_mod
+
+    real_fsync = os_mod.fsync
+    calls = []
+
+    def flaky_fsync(fd):
+        calls.append(fd)
+        if len(calls) > 1:  # the directory fsync after the rename
+            raise OSError(95, "operation not supported")
+        return real_fsync(fd)
+
+    monkeypatch.setattr("repro.resilience.atomic.os.fsync", flaky_fsync)
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "written\n")  # must not raise
+    assert len(calls) == 2
+    assert target.read_text() == "written\n"
+
+
 # -- checkpoint journal -------------------------------------------------------
 
 def _sample_row(workload="cc-5", ipc=1.25):
