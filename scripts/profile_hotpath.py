@@ -270,6 +270,42 @@ def main() -> int:
     for name, calls, seconds in replay_rows:
         print(f"{name:<14} {calls:>8} {seconds:>9.4f} "
               f"{seconds / reference_s:>6.1%}")
+
+    # -- series overhead --------------------------------------------------
+    # The windowed series collector must be near-free: generation + batch
+    # replay of the default bench cell, best of `repeats`, with and
+    # without a recorder attached.  Results are parity-checked, so this
+    # bucket prices pure telemetry.
+    from repro.obs import Observability, SeriesCollector
+
+    def timed_cell(with_series):
+        obs = (Observability(series=SeriesCollector())
+               if with_series else None)
+        pf = make_prefetcher(args.prefetcher)
+        recorder = None
+        if obs is not None:
+            recorder = obs.series.recorder(
+                component="generation", prefetcher=args.prefetcher,
+                trace=args.workload)
+        t0 = time.perf_counter()
+        reqs = generate_prefetches(pf, trace, args.budget,
+                                   recorder=recorder)
+        simulate(trace, reqs, config=hierarchy,
+                 prefetcher_name=args.prefetcher, obs=obs, engine="batch")
+        return time.perf_counter() - t0
+
+    hierarchy = default_hierarchy()
+    repeats = 3
+    timed_cell(True)  # warm both paths once
+    plain_s = min(timed_cell(False) for _ in range(repeats))
+    series_s = min(timed_cell(True) for _ in range(repeats))
+    overhead = series_s / plain_s - 1.0
+    print()
+    print(f"series overhead (generation + batch replay, best of "
+          f"{repeats})")
+    print(f"plain:         {plain_s:.4f}s")
+    print(f"with --series: {series_s:.4f}s")
+    print(f"overhead:      {overhead:+.2%} (budget < 5%)")
     return 0
 
 

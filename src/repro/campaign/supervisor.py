@@ -48,6 +48,7 @@ from ..resilience.atomic import atomic_write_json
 from .queue import (
     DONE,
     LEASED,
+    PENDING,
     QUARANTINED,
     CellState,
     WorkQueue,
@@ -60,6 +61,11 @@ from .worker import execute_cell, worker_main
 CAMPAIGN_FILE = "campaign.json"
 QUEUE_FILE = "queue.jsonl"
 LEDGER_FILE = "ledger.jsonl"
+SERIES_FILE = "campaign_series.jsonl"
+
+#: Minimum seconds between idle campaign samples (state changes always
+#: sample immediately).
+SERIES_INTERVAL_S = 0.5
 
 #: Zeroed metrics recorded for quarantined (poison) cells.
 _ZERO_METRICS = {key: 0 for key in ("ipc", "speedup", "accuracy",
@@ -109,6 +115,72 @@ class CampaignStats:
         return ", ".join(parts)
 
 
+class CampaignSeriesSampler:
+    """Single-writer appender behind ``<dir>/campaign_series.jsonl``.
+
+    Only the supervisor writes here, in append mode with a flush per
+    record, so a SIGKILL tears at most the final line — which
+    :func:`repro.obs.timeseries.read_campaign_series` drops — and a
+    resumed supervisor simply keeps appending to the same log.  Every
+    record is ``kind: "campaign_sample"``; the ``event`` field marks
+    run boundaries (``start``/``sample``/``finish``).  Idle ticks are
+    throttled to :data:`SERIES_INTERVAL_S`; queue-state changes sample
+    immediately so short campaigns still land every transition.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 interval_s: float = SERIES_INTERVAL_S):
+        self.path = Path(path)
+        self.interval_s = interval_s
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._t0 = time.time()
+        self._last_wall = float("-inf")
+        self._last_state: Optional[tuple] = None
+        self.per_worker: Dict[str, int] = {}
+
+    def note_done(self, worker_id: str) -> None:
+        """Count one completed cell against ``worker_id``."""
+        self.per_worker[worker_id] = self.per_worker.get(worker_id, 0) + 1
+
+    def sample(self, queue: WorkQueue, stats: CampaignStats,
+               event: str = "sample", force: bool = False) -> None:
+        """Append one sample unless idle and inside the throttle window."""
+        counts = queue.counts()
+        state = (tuple(sorted(counts.items())), stats.completed,
+                 stats.retries, stats.quarantined, stats.leases)
+        now = time.time()
+        if not force and state == self._last_state \
+                and now - self._last_wall < self.interval_s:
+            return
+        self._last_state = state
+        self._last_wall = now
+        record = {
+            "schema": 1,
+            "kind": "campaign_sample",
+            "event": event,
+            "t": round(now - self._t0, 3),
+            "counts": counts,
+            "queue_depth": counts.get(PENDING, 0) + counts.get(LEASED, 0),
+            "completed": stats.completed,
+            "retries": stats.retries,
+            "expirations": stats.expirations,
+            "worker_crashes": stats.worker_crashes,
+            "quarantined": stats.quarantined,
+            "per_worker": dict(sorted(self.per_worker.items())),
+        }
+        try:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):
+            pass  # telemetry must never take the campaign down
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+
 class _WorkerHandle:
     """Supervisor-side bookkeeping for one worker process."""
 
@@ -132,6 +204,7 @@ class Campaign:
         self.ledger = ledger
         self.fault_spec = fault_spec
         self.stats = CampaignStats()
+        self._series: Optional[CampaignSeriesSampler] = None
 
     # -- construction --------------------------------------------------------
 
@@ -225,20 +298,29 @@ class Campaign:
 
     def run(self, workers: Optional[int] = None,
             stop_after: Optional[int] = None,
-            echo: Callable[[str], None] = print) -> Dict[str, object]:
+            echo: Callable[[str], None] = print,
+            series: bool = False) -> Dict[str, object]:
         """Drive the campaign until finished, stopped, or interrupted.
 
         Returns a summary dict (``finished``, ``interrupted``,
         ``counts``, ``stats``).  Installs SIGINT/SIGTERM handlers for
         the duration: the first signal stops leasing, flushes the
         queue/ledger, and releases outstanding leases so ``repro
-        campaign resume`` continues bit-identically.
+        campaign resume`` continues bit-identically.  With ``series``
+        the supervisor appends queue-depth / throughput / retry samples
+        to ``<dir>/campaign_series.jsonl`` as it goes (pure telemetry:
+        results are unaffected).
         """
         n_workers = self.spec.workers if workers is None else workers
         plan = (faults.FaultPlan.parse(self.fault_spec)
                 if self.fault_spec else None)
         start = time.perf_counter()
         stop_flag = {"stop": False}
+        if series:
+            self._series = CampaignSeriesSampler(
+                self.directory / SERIES_FILE)
+            self._series.sample(self.queue, self.stats, event="start",
+                                force=True)
 
         def _on_signal(signum, frame):  # noqa: ARG001
             stop_flag["stop"] = True
@@ -261,6 +343,11 @@ class Campaign:
         finally:
             for sig, handler in previous.items():
                 signal.signal(sig, handler)
+            if self._series is not None:
+                self._series.sample(self.queue, self.stats, event="finish",
+                                    force=True)
+                self._series.close()
+                self._series = None
         finished = self.queue.finished()
         wall_s = time.perf_counter() - start
         self.ledger.finish(wall_s, status="ok" if finished
@@ -383,6 +470,8 @@ class Campaign:
                 drained_one = True
                 if self._handle_message(message, handles, echo):
                     completed_this_run += 1
+            if self._series is not None:
+                self._series.sample(self.queue, self.stats)
         self._shutdown(handles, result_q, echo)
         return interrupted
 
@@ -407,6 +496,8 @@ class Campaign:
             self._record_row(cell, message[3], worker_id)
             self.queue.complete(key, worker_id)
             self.stats.completed += 1
+            if self._series is not None:
+                self._series.note_done(worker_id)
             echo(f"[campaign] cell {cell.index} done "
                  f"({cell.workload}/{cell.prefetcher} seed {cell.seed}) "
                  f"on {worker_id}")
@@ -523,11 +614,16 @@ class Campaign:
             except Exception as exc:  # noqa: BLE001 - quarantine path
                 self._fail_cell(cell, f"{type(exc).__name__}: {exc}",
                                 time.time(), echo)
+                if self._series is not None:
+                    self._series.sample(self.queue, self.stats)
                 continue
             self._record_row(cell, row, "serial")
             self.queue.complete(cell.key, "serial")
             self.stats.completed += 1
             completed_this_run += 1
+            if self._series is not None:
+                self._series.note_done("serial")
+                self._series.sample(self.queue, self.stats)
             echo(f"[campaign] cell {cell.index} done "
                  f"({cell.workload}/{cell.prefetcher} seed {cell.seed}) "
                  f"serially")
@@ -572,6 +668,12 @@ def campaign_summary(directory: Union[str, Path]) -> Dict[str, object]:
         ledger_cells = len({str(record.get("key"))
                             for record in parsed["cells"]})
         finish = parsed["finish"]
+    series_samples: List[Dict[str, object]] = []
+    series_path = directory / SERIES_FILE
+    if series_path.exists():
+        from ..obs.timeseries import read_campaign_series
+
+        series_samples = read_campaign_series(series_path)
     return {
         "name": meta["spec"].get("name", "?"),
         "run_id": meta.get("run_id"),
@@ -592,4 +694,5 @@ def campaign_summary(directory: Union[str, Path]) -> Dict[str, object]:
         "events": events,
         "ledger_cells": ledger_cells,
         "finish": finish,
+        "series_samples": series_samples,
     }

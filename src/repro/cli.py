@@ -10,9 +10,15 @@ Four subcommands, installed as the ``repro`` console script::
               [--budget B] [--hierarchy {scaled,full}]
               [--engine {batch,fast,reference}]
               [--events-out e.jsonl] [--metrics-out m.json]
+              [--series [--series-window N]]
         Run one prefetcher on one workload and print IPC / accuracy /
         coverage against the no-prefetch baseline, optionally streaming
         structured lifecycle events and a metrics snapshot to files.
+        ``--series`` additionally collects windowed time-series
+        telemetry (replay hit/miss rates, prefetch lifecycle counts,
+        PATHFINDER learning dynamics) into a ``*.series.jsonl``
+        snapshot next to the run ledger; results are bit-identical
+        with or without it.
 
     repro experiment <id> [--loads N] [--workloads a,b,...] [--jobs J]
               [--retries R] [--cell-timeout S] [--resume PATH]
@@ -57,9 +63,9 @@ Four subcommands, installed as the ``repro`` console script::
         ``--max-regress``.  Exits 1 on a regression, 2 on usage errors.
 
     repro campaign run SPEC [--dir DIR] [--workers N] [--stop-after K]
-              [--inject-faults SPEC]
-    repro campaign resume DIR [--workers N] [--stop-after K]
-    repro campaign status DIR
+              [--inject-faults SPEC] [--series]
+    repro campaign resume DIR [--workers N] [--stop-after K] [--series]
+    repro campaign status DIR [--watch [--interval S]]
         Durable experiment campaigns: ``run`` expands a YAML/JSON spec
         into a campaign directory (``campaign.json`` + append-only
         ``queue.jsonl`` lease log + shared ``ledger.jsonl``) and drives
@@ -101,14 +107,17 @@ from .harness import (
 from .harness.history import DEFAULT_HISTORY_PATH
 from .harness.perfbench import DEFAULT_MAX_REGRESS
 from .obs import (
+    DEFAULT_WINDOW,
     JsonlSink,
     Observability,
     Profiler,
     RunLedger,
+    SeriesCollector,
     Tracer,
     finish_run,
     read_events,
     read_ledger,
+    read_series,
     set_default_observability,
     start_run,
 )
@@ -160,14 +169,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _series_requested(args: argparse.Namespace) -> bool:
+    """``--series`` explicitly, or implied by a series tuning flag."""
+    return bool(getattr(args, "series", False)
+                or getattr(args, "series_window", None)
+                or getattr(args, "series_out", None))
+
+
 def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
     """Build an Observability bundle when any output flag asks for one."""
     peak_memory = getattr(args, "peak_memory", False)
-    if not (args.events_out or args.metrics_out or peak_memory):
+    series_on = _series_requested(args)
+    if not (args.events_out or args.metrics_out or peak_memory
+            or series_on):
         return None
     sink = JsonlSink(args.events_out) if args.events_out else None
+    series = None
+    if series_on:
+        window = getattr(args, "series_window", None) or DEFAULT_WINDOW
+        series = SeriesCollector(window=window)
     return Observability(tracer=Tracer(sink),
-                         profiler=Profiler(capture_memory=peak_memory))
+                         profiler=Profiler(capture_memory=peak_memory),
+                         series=series)
+
+
+def _series_path(args: argparse.Namespace,
+                 ledger: Optional[RunLedger]) -> str:
+    """Resolve where the series snapshot lands.
+
+    Default is a sibling of the run-ledger file —
+    ``<results-dir>/<run id>.series.jsonl`` — so ``repro report
+    --ledger`` can pick it up automatically; ``--series-out``
+    overrides, and ``--no-ledger`` falls back to ``series.jsonl`` in
+    the working directory.
+    """
+    out = getattr(args, "series_out", None)
+    if out:
+        return out
+    if ledger is not None:
+        base = str(ledger.path)
+        if base.endswith(".jsonl"):
+            base = base[: -len(".jsonl")]
+        return base + ".series.jsonl"
+    return "series.jsonl"
+
+
+def _write_series(obs: Optional[Observability],
+                  args: argparse.Namespace,
+                  ledger: Optional[RunLedger]) -> None:
+    if obs is None or obs.series is None:
+        return
+    path = _series_path(args, ledger)
+    obs.series.write_jsonl(path)
+    print(f"\n[series written to {path}]")
 
 
 def _write_metrics(obs: Observability, path: str,
@@ -329,6 +383,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if obs is not None and args.metrics_out:
         _write_metrics(obs, args.metrics_out,
                        run_id=ledger.run_id if ledger else None)
+    _write_series(obs, args, ledger)
     return 0
 
 
@@ -425,6 +480,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if obs is not None and args.metrics_out:
         _write_metrics(obs, args.metrics_out,
                        run_id=ledger.run_id if ledger else None)
+    _write_series(obs, args, ledger)
     return 0
 
 
@@ -510,7 +566,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .harness.history import DEFAULT_HISTORY_PATH, read_history
 
-    events = ledger = metrics = history = campaign = None
+    events = ledger = metrics = history = campaign = series = None
     try:
         if args.events:
             events = read_events(args.events)
@@ -519,6 +575,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 return 2
         if args.ledger:
             ledger = read_ledger(args.ledger)
+        if args.series:
+            series = read_series(args.series)
+        elif args.series is None and args.ledger:
+            # A run with --series leaves its snapshot next to the
+            # ledger file; pick it up automatically (opt out with
+            # --series "").
+            base = args.ledger
+            if base.endswith(".jsonl"):
+                base = base[: -len(".jsonl")]
+            sibling = base + ".series.jsonl"
+            if os.path.exists(sibling):
+                series = read_series(sibling)
         if args.metrics:
             metrics = json.loads(open(args.metrics, encoding="utf-8").read())
         if args.history:
@@ -541,10 +609,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"error: {exc}")
         return 2
     if events is None and ledger is None and metrics is None \
-            and history is None and campaign is None:
+            and history is None and campaign is None and series is None:
         print("error: nothing to report "
               "(pass an events file and/or "
-              "--ledger/--metrics/--history/--campaign)")
+              "--ledger/--metrics/--history/--campaign/--series)")
         return 2
     if args.html:
         run_id = (ledger.get("manifest") or {}).get("run_id") if ledger \
@@ -554,7 +622,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                  else "repro run dashboard")
         write_dashboard(args.html, ledger=ledger, events=events,
                         metrics=metrics, history=history,
-                        campaign=campaign, title=title)
+                        campaign=campaign, series=series, title=title)
         print(f"[dashboard written to {args.html}]")
     if events is not None:
         blocks = [format_table(headers, rows, title=title)
@@ -609,7 +677,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         return 2
     print(f"[campaign] {spec.name}: {len(campaign.queue.cells)} cell(s) "
           f"-> {directory}")
-    result = campaign.run(workers=args.workers, stop_after=args.stop_after)
+    result = campaign.run(workers=args.workers, stop_after=args.stop_after,
+                          series=args.series)
     if not result["finished"]:
         print(f"[campaign] resume with: repro campaign resume {directory}")
     return _print_campaign_result(result)
@@ -634,20 +703,37 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
         "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "argv": list(getattr(args, "_argv", None) or []),
     })
-    result = campaign.run(workers=args.workers, stop_after=args.stop_after)
+    result = campaign.run(workers=args.workers, stop_after=args.stop_after,
+                          series=args.series)
     if not result["finished"]:
         print(f"[campaign] resume with: repro campaign resume {args.dir}")
     return _print_campaign_result(result)
 
 
-def _cmd_campaign_status(args: argparse.Namespace) -> int:
+#: Unicode eighth-block ramp for terminal sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _spark(values: List[float]) -> str:
+    """Render ``values`` as a one-line unicode sparkline."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    return "".join(
+        _SPARK_BLOCKS[min(len(_SPARK_BLOCKS) - 1,
+                          int((value - lo) / span * len(_SPARK_BLOCKS)))]
+        for value in values)
+
+
+def _print_campaign_status(directory: str) -> "tuple[int, bool]":
+    """Print one status snapshot; returns (exit code, finished)."""
     from .campaign import campaign_summary
 
-    try:
-        summary = campaign_summary(args.dir)
-    except ConfigError as exc:
-        print(f"error: {exc}")
-        return 2
+    summary = campaign_summary(directory)
     counts = summary["counts"]
     rows = [
         ["name", summary["name"]],
@@ -665,8 +751,21 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         ["ledger cells", summary["ledger_cells"]],
         ["state", "finished" if summary["finished"] else "running/paused"],
     ]
+    samples = summary.get("series_samples") or []
+    if samples:
+        last = samples[-1]
+        rows.append(["series samples", len(samples)])
+        rows.append(["queue depth",
+                     f"{_spark([float(s.get('queue_depth', 0)) for s in samples[-48:]])} "
+                     f"now {last.get('queue_depth', 0)}"])
+        elapsed = float(last.get("t", 0.0) or 0.0)
+        done_now = int(last.get("completed", 0) or 0)
+        if elapsed > 0:
+            rows.append(["throughput",
+                         f"{done_now / elapsed:.2f} cells/s "
+                         f"({done_now} in {elapsed:.1f}s)"])
     print(format_table(["field", "value"], rows,
-                       title=f"campaign status: {args.dir}"))
+                       title=f"campaign status: {directory}"))
     if summary["per_worker"]:
         print()
         print(format_table(
@@ -682,8 +781,37 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
               cell["seed"], cell["attempts"], cell["error"] or "-"]
              for cell in summary["quarantined"]],
             title="quarantined (poison) cells"))
-        return 1
-    return 0
+        return 1, bool(summary["finished"])
+    return 0, bool(summary["finished"])
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    if not getattr(args, "watch", False):
+        try:
+            code, _ = _print_campaign_status(args.dir)
+        except ConfigError as exc:
+            print(f"error: {exc}")
+            return 2
+        return code
+    interval = max(0.1, args.interval)
+    try:
+        while True:
+            # Clear screen + home: a cheap full-redraw live view.
+            print("\x1b[2J\x1b[H", end="")
+            try:
+                code, finished = _print_campaign_status(args.dir)
+            except ConfigError as exc:
+                print(f"error: {exc}")
+                return 2
+            if finished:
+                print("\n[watch] campaign finished")
+                return code
+            print(f"\n[watch] refreshing every {interval:.1f}s "
+                  "(Ctrl-C to stop)")
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -706,6 +834,23 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="stream structured JSONL events to FILE")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write a JSON metrics/profile snapshot to FILE")
+
+
+def _add_series_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--series", action="store_true",
+        help="collect windowed time-series telemetry (per-window "
+             "hit/miss rates, prefetch counts, learning dynamics); "
+             "results stay bit-identical")
+    parser.add_argument(
+        "--series-window", type=int, default=None, metavar="N",
+        help="accesses per series window "
+             f"(default {DEFAULT_WINDOW}; implies --series)")
+    parser.add_argument(
+        "--series-out", metavar="FILE",
+        help="where to write the series JSONL (default: next to the "
+             "run-ledger file as <run id>.series.jsonl; implies "
+             "--series)")
 
 
 def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
@@ -774,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--peak-memory", action="store_true",
                        help="capture tracemalloc peak memory for the run")
     _add_obs_flags(p_run)
+    _add_series_flags(p_run)
     _add_ledger_flags(p_run)
     _add_fault_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
@@ -799,6 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint journal: completed cells are "
                             "restored bit-identically, new ones appended")
     _add_obs_flags(p_exp)
+    _add_series_flags(p_exp)
     _add_ledger_flags(p_exp)
     _add_fault_flag(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
@@ -842,6 +989,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf-trend history JSONL for the dashboard timeline "
              f"(default: {DEFAULT_HISTORY_PATH} when present; bare "
              "--history disables the automatic pickup)")
+    p_rep.add_argument(
+        "--series", metavar="FILE", nargs="?", default=None, const="",
+        help="series JSONL from a --series run for the dashboard's "
+             "learning-curve / phase sections (default: the ledger's "
+             "<run id>.series.jsonl sibling when present; bare "
+             "--series disables the automatic pickup)")
     p_rep.add_argument("--campaign", metavar="DIR",
                        help="campaign directory: adds a live campaign "
                             "section (queue depth, per-worker "
@@ -867,6 +1020,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument("--stop-after", type=int, default=None, metavar="K",
                         help="pause after K completed cells (for chaos "
                              "tests and smoke runs; resume continues)")
+    p_crun.add_argument("--series", action="store_true",
+                        help="append queue-depth/throughput/retry samples "
+                             "to campaign_series.jsonl while running "
+                             "(survives kill/resume; feeds status "
+                             "--watch and the dashboard timeline)")
     _add_fault_flag(p_crun)
     p_crun.set_defaults(func=_cmd_campaign_run)
     p_cres = camp_sub.add_parser(
@@ -877,10 +1035,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "0 = serial in-process)")
     p_cres.add_argument("--stop-after", type=int, default=None, metavar="K",
                         help="pause again after K completed cells")
+    p_cres.add_argument("--series", action="store_true",
+                        help="keep appending campaign telemetry samples "
+                             "to campaign_series.jsonl")
     p_cres.set_defaults(func=_cmd_campaign_resume)
     p_cstat = camp_sub.add_parser(
         "status", help="read-only campaign snapshot (safe mid-campaign)")
     p_cstat.add_argument("dir", help="campaign directory")
+    p_cstat.add_argument("--watch", action="store_true",
+                         help="live view: redraw the status every "
+                              "--interval seconds until the campaign "
+                              "finishes (Ctrl-C to stop watching)")
+    p_cstat.add_argument("--interval", type=float, default=2.0,
+                         metavar="S",
+                         help="refresh period for --watch "
+                              "(default 2.0s)")
     p_cstat.set_defaults(func=_cmd_campaign_status)
 
     p_cmp = sub.add_parser(

@@ -18,8 +18,9 @@ Per demand load, PATHFINDER:
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -75,6 +76,16 @@ class PathfinderPrefetcher(Prefetcher):
         # feeds SNN telemetry into the metrics registry.
         self.monitor: Optional[SpikeMonitor] = None
         self._obs = None
+        # Armed by series_arm() (``--series``): windowed
+        # learning-dynamics bookkeeping.  Unlike the SpikeMonitor this
+        # does NOT force the batched pipeline onto the scalar path —
+        # it only counts at existing decision points.
+        self._series_armed = False
+        self._series_pred_checked = 0
+        self._series_pred_correct = 0
+        self._series_winner_counts: Dict[int, int] = {}
+        self._series_prev_weights: Optional[np.ndarray] = None
+        self._series_prev_theta: Optional[np.ndarray] = None
 
     def _build_network(self) -> DiehlCookNetwork:
         cfg = self.config
@@ -157,6 +168,60 @@ class PathfinderPrefetcher(Prefetcher):
             encoder_cache_hits=self.encoder.cache_hits,
             encoder_cache_misses=self.encoder.cache_misses)
 
+    def series_arm(self) -> None:
+        """Start windowed learning-dynamics bookkeeping (``--series``).
+
+        Captures baseline weight/theta snapshots so the first window's
+        drift norms measure change from the initial model, and resets
+        the per-window prediction/winner tallies.
+        """
+        self._series_armed = True
+        self._series_pred_checked = 0
+        self._series_pred_correct = 0
+        self._series_winner_counts = {}
+        self._series_prev_weights = self.network.weights.copy()
+        self._series_prev_theta = self.network.exc.theta.copy()
+
+    def series_sample(self, cumulative, gauges) -> None:
+        """Contribute PATHFINDER's windowed series at a boundary.
+
+        Cumulative counters (diffed into per-window sums by the
+        recorder): prediction checks/hits, SNN queries and STDP
+        updates, table eviction/label churn.  Gauges: weight/theta
+        drift L2 norms since the previous boundary, the window's
+        winner-selection entropy (bits), and table occupancies.
+        """
+        if not self._series_armed:
+            return
+        cumulative["gen.pred_checked"] = self._series_pred_checked
+        cumulative["gen.pred_correct"] = self._series_pred_correct
+        cumulative["snn.queries"] = self.snn_queries
+        cumulative["snn.stdp_updates"] = self.stdp_updates
+        cumulative["table.training_evictions"] = self.training_table.evictions
+        it = self.inference_table
+        cumulative["table.labels_assigned"] = it.labels_assigned
+        cumulative["table.labels_erased"] = it.labels_erased
+        w = self.network.weights
+        gauges["snn.weight_drift"] = float(
+            np.linalg.norm(w - self._series_prev_weights))
+        self._series_prev_weights = w.copy()
+        theta = self.network.exc.theta
+        gauges["snn.theta_drift"] = float(
+            np.linalg.norm(theta - self._series_prev_theta))
+        self._series_prev_theta = theta.copy()
+        counts = self._series_winner_counts
+        total = sum(counts.values())
+        entropy = 0.0
+        if total:
+            for count in counts.values():
+                p = count / total
+                entropy -= p * math.log2(p)
+            counts.clear()
+        gauges["snn.winner_entropy"] = entropy
+        gauges["table.training_occupancy"] = float(
+            len(self.training_table._rows))
+        gauges["table.inference_occupancy"] = float(it.occupancy())
+
     # -- periodic STDP gating (paper Figure 8) ------------------------------
 
     def _learning_enabled(self) -> bool:
@@ -191,6 +256,10 @@ class PathfinderPrefetcher(Prefetcher):
         bound = self.config.max_delta
         in_range = -bound <= delta <= bound
         if entry.fired_neuron is not None and in_range:
+            if self._series_armed and entry.predicted:
+                self._series_pred_checked += 1
+                if delta in entry.predicted:
+                    self._series_pred_correct += 1
             self.inference_table.observe(entry.fired_neuron, delta)
         self.training_table.record_delta(entry, delta, in_range)
         if not in_range:
@@ -212,6 +281,9 @@ class PathfinderPrefetcher(Prefetcher):
         entry.fired_neuron = record.winner
         if record.winner is None:
             return []
+        if self._series_armed:
+            counts = self._series_winner_counts
+            counts[record.winner] = counts.get(record.winner, 0) + 1
 
         degree = cfg.degree
         predict = self.inference_table.predict
@@ -300,6 +372,7 @@ class PathfinderPrefetcher(Prefetcher):
         clip = self.encoder._clip
         zero_pads = tuple((0,) * k for k in range(history))
         seen = self.accesses_seen
+        armed = self._series_armed
 
         # Pass 1: tables + encoding.  ``ops`` preserves program order:
         # (access_idx, entry, query_idx, offset, page) queries and
@@ -338,7 +411,11 @@ class PathfinderPrefetcher(Prefetcher):
                     continue
                 fired = entry.fired_neuron
                 if fired is not None:
-                    ops.append((fired, delta))
+                    # Armed series runs carry the entry so pass 3 can
+                    # check ``delta in entry.predicted`` in program
+                    # order — exactly the scalar path's accuracy site.
+                    ops.append((fired, delta, entry) if armed
+                               else (fired, delta))
                 d = entry.deltas
                 d.append(delta)
                 pad = len(d)
@@ -391,15 +468,26 @@ class PathfinderPrefetcher(Prefetcher):
         threshold = cfg.confidence_threshold
         degree = cfg.degree
         emitted = 0
+        pred_checked = pred_correct = 0
+        winner_counts = self._series_winner_counts
         for op in ops:
-            if len(op) == 2:
-                fired, delta = op
+            if len(op) < 5:
+                fired = op[0]
+                delta = op[1]
                 if fired < 0:
                     fired = winners[-fired - 1]
+                if len(op) == 3:
+                    predicted = op[2].predicted
+                    if predicted:
+                        pred_checked += 1
+                        if delta in predicted:
+                            pred_correct += 1
                 observe(fired, delta)
                 continue
             i, entry, qidx, offset, page = op
             winner = winners[qidx]
+            if armed:
+                winner_counts[winner] = winner_counts.get(winner, 0) + 1
             # Only resolve the placeholder if a later access didn't
             # already clear or re-query this stream.
             if entry.fired_neuron == -qidx - 1:
@@ -431,6 +519,9 @@ class PathfinderPrefetcher(Prefetcher):
                 emitted += len(addrs)
                 results[i] = addrs
         self.prefetches_emitted += emitted
+        if armed:
+            self._series_pred_checked += pred_checked
+            self._series_pred_correct += pred_correct
         return [r if r is not None else [] for r in results]
 
     def _drain_repairs(self) -> None:
@@ -501,5 +592,11 @@ class PathfinderPrefetcher(Prefetcher):
         self.neuron_repairs = 0
         self.first_tick_matches = 0
         self.first_tick_total = 0
+        self._series_armed = False
+        self._series_pred_checked = 0
+        self._series_pred_correct = 0
+        self._series_winner_counts = {}
+        self._series_prev_weights = None
+        self._series_prev_theta = None
         if self.monitor is not None:
             self.monitor = SpikeMonitor()

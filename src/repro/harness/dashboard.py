@@ -20,6 +20,7 @@ dashboard renders whichever sections have data):
 from __future__ import annotations
 
 import html
+import math
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -72,7 +73,17 @@ def _table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 def _bar_svg(pairs: Sequence[Tuple[str, float]], unit: str = "",
              width: int = 640) -> str:
-    """A horizontal inline-SVG bar chart (no JS, no external assets)."""
+    """A horizontal inline-SVG bar chart (no JS, no external assets).
+
+    Degenerate inputs — no pairs at all, a single bucket, all-zero or
+    non-finite values — must render valid markup rather than emitting
+    ``NaN``/``inf`` SVG coordinates, so values are filtered to finite
+    non-negatives first and the peak is clamped to a positive number.
+    """
+    pairs = [(label, float(value)) for label, value in pairs
+             if isinstance(value, (int, float))
+             and not isinstance(value, bool) and math.isfinite(value)
+             and value >= 0]
     if not pairs:
         return "<p>(no data)</p>"
     peak = max(value for _, value in pairs) or 1.0
@@ -371,6 +382,171 @@ def _profile_section(metrics: Dict) -> str:
             + _table(["phase", "calls", "wall s"], rows))
 
 
+_SERIES_PALETTE = ("#4361ee", "#e63946", "#2a9d8f", "#f4a261",
+                   "#7209b7", "#588157")
+
+
+def _line_svg(lines: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+              caption: str = "", boundaries: Sequence[float] = (),
+              width: int = 640, height: int = 160) -> str:
+    """An inline-SVG line chart over ``(x, y)`` points.
+
+    ``lines`` is ``[(label, points), ...]``; ``boundaries`` are x
+    positions drawn as red vertical markers (phase changes).  Shares
+    the bar chart's degeneracy rules: non-finite points are dropped
+    and a chart with no plottable line renders a placeholder.
+    """
+    clean: List[Tuple[str, List[Tuple[float, float]]]] = []
+    for label, points in lines:
+        good = [(float(x), float(y)) for x, y in points
+                if math.isfinite(float(x)) and math.isfinite(float(y))]
+        if len(good) >= 2:
+            clean.append((label, good))
+    if not clean:
+        return "<p>(no data)</p>"
+    x_lo = min(p[0] for _, pts in clean for p in pts)
+    x_hi = max(p[0] for _, pts in clean for p in pts)
+    y_hi = max((p[1] for _, pts in clean for p in pts), default=0.0)
+    x_span = (x_hi - x_lo) or 1.0
+    y_peak = y_hi or 1.0
+    pad = 30
+    parts = [f'<svg width="{width + 180}" height="{height}" role="img">']
+
+    def sx(x: float) -> float:
+        return pad + (width - 2 * pad) * (x - x_lo) / x_span
+
+    def sy(y: float) -> float:
+        return height - pad - (height - 2 * pad) * y / y_peak
+
+    for x in boundaries:
+        x = float(x)
+        if not math.isfinite(x) or not x_lo <= x <= x_hi:
+            continue
+        parts.append(
+            f'<line x1="{sx(x):.1f}" y1="{pad / 2:.1f}" '
+            f'x2="{sx(x):.1f}" y2="{height - pad:.1f}" '
+            'stroke="#e63946" stroke-width="1.5" '
+            'stroke-dasharray="4 3"></line>')
+    for color_i, (label, points) in enumerate(clean):
+        color = _SERIES_PALETTE[color_i % len(_SERIES_PALETTE)]
+        polyline = " ".join(f"{sx(x):.1f},{sy(y):.1f}"
+                            for x, y in points)
+        parts.append(f'<polyline points="{polyline}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"></polyline>')
+        parts.append(
+            f'<text x="{width + 6}" y="{pad + color_i * 16}" '
+            f'font-size="12" fill="{color}">{_esc(label)}</text>')
+    if caption:
+        parts.append(f'<text x="{pad}" y="{height - 8}" '
+                     f'font-size="11">{_esc(caption)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _series_groups(series: List[Dict]
+                   ) -> "Dict[Tuple[str, str, str], Dict[str, Dict]]":
+    """Index series records by (prefetcher, trace, cell) then name."""
+    groups: Dict[Tuple[str, str, str], Dict[str, Dict]] = {}
+    for record in series:
+        labels = record.get("labels") or {}
+        key = (str(labels.get("prefetcher", "?")),
+               str(labels.get("trace", "?")),
+               str(labels.get("cell", "")))
+        groups.setdefault(key, {})[str(record.get("name", "?"))] = record
+    return groups
+
+
+def _series_sections(series: List[Dict]) -> str:
+    """Windowed-telemetry sections from a ``--series`` snapshot.
+
+    Three views of the same JSONL records: per-cell learning-curve
+    sparklines (PATHFINDER prediction accuracy per window),
+    phase-annotated demand miss-rate strips (mean-shift boundaries in
+    red, from :func:`repro.obs.timeseries.detect_phases`), and an
+    adaptation-lag table (windows from each phase boundary until the
+    accuracy series recovers its pre-boundary level).
+    """
+    from bisect import bisect_left
+
+    from ..obs.timeseries import adaptation_lag, detect_phases, rate_points
+
+    groups = _series_groups(series)
+    curve_lines: List[Tuple[str, List[Tuple[float, float]]]] = []
+    strips: List[str] = []
+    lag_rows: List[List[object]] = []
+    for key in sorted(groups):
+        prefetcher, trace, cell = key
+        names = groups[key]
+        label = cell or f"{prefetcher}/{trace}"
+        accuracy: List[Tuple[int, float]] = []
+        correct = names.get("gen.pred_correct")
+        checked = names.get("gen.pred_checked")
+        if correct and checked:
+            accuracy = rate_points(correct, checked)
+            if len(accuracy) >= 2:
+                curve_lines.append(
+                    (label, [(float(s), v) for s, v in accuracy]))
+        misses = names.get("replay.llc_misses")
+        l1_hits = names.get("replay.l1_hits")
+        l1_misses = names.get("replay.l1_misses")
+        if not (misses and l1_hits and l1_misses):
+            continue
+        accesses = {start: value
+                    for start, value in l1_hits["points"]}
+        for start, value in l1_misses["points"]:
+            accesses[start] = accesses.get(start, 0) + value
+        starts: List[int] = []
+        values: List[float] = []
+        for start, value in misses["points"]:
+            total = accesses.get(start)
+            if total:
+                starts.append(int(start))
+                values.append(value / total)
+        if len(values) < 2:
+            continue
+        boundaries = detect_phases(values)
+        acc_starts = [s for s, _ in accuracy]
+        acc_values = [v for _, v in accuracy]
+        for boundary in boundaries:
+            lag: Optional[int] = None
+            if acc_values:
+                lag = adaptation_lag(
+                    acc_values, bisect_left(acc_starts, starts[boundary]))
+            lag_rows.append([label, prefetcher, trace, starts[boundary],
+                             values[boundary - 1], values[boundary],
+                             "never" if lag is None else lag])
+        strips.append(
+            f"<h3>{_esc(label)} &mdash; {_esc(prefetcher)} on "
+            f"{_esc(trace)}</h3>"
+            + _line_svg(
+                [("demand miss rate",
+                  [(float(s), v) for s, v in zip(starts, values)])],
+                caption=f"per-window LLC miss rate; "
+                        f"{len(boundaries)} phase boundary(ies)",
+                boundaries=[float(starts[b]) for b in boundaries]))
+    parts: List[str] = []
+    if curve_lines:
+        parts.append(
+            "<h2>Learning curves (prediction accuracy)</h2>"
+            + _line_svg(curve_lines,
+                        caption="per-window prediction accuracy "
+                                "(correct / checked) by access index"))
+    if strips:
+        parts.append("<h2>Phase-annotated miss rate</h2>"
+                     + "".join(strips))
+    if lag_rows:
+        parts.append(
+            "<h2>Adaptation lag</h2>"
+            + _table(["cell", "prefetcher", "trace", "phase @ access",
+                      "miss rate before", "miss rate after",
+                      "lag (windows)"], lag_rows)
+            + "<p>Lag counts windows from a detected miss-rate phase "
+              "boundary until prediction accuracy recovers its "
+              "pre-boundary mean (tolerance 0.05); &ldquo;never&rdquo; "
+              "means it did not recover within the trace.</p>")
+    return "".join(parts)
+
+
 def _campaign_section(campaign: Dict) -> str:
     """Live campaign state: queue depth, per-worker throughput, faults.
 
@@ -422,6 +598,26 @@ def _campaign_section(campaign: Dict) -> str:
             f"queue depth over {_fmt(span)}s "
             f"({total} &rarr; {depth} outstanding)</text></svg>")
 
+    samples = campaign.get("series_samples") or []
+    if len(samples) >= 2:
+        # Supervisor-sampled timeline (campaign_series.jsonl): queue
+        # depth and completions against wall time, plus retry /
+        # quarantine counters as they accumulated.
+        def _points(field: str) -> List[Tuple[float, float]]:
+            return [(float(s.get("t", 0.0) or 0.0),
+                     float(s.get(field, 0) or 0))
+                    for s in samples]
+
+        parts.append(
+            "<h3>Campaign timeline</h3>"
+            + _line_svg(
+                [("queue depth", _points("queue_depth")),
+                 ("completed", _points("completed")),
+                 ("retries", _points("retries")),
+                 ("quarantined", _points("quarantined"))],
+                caption=f"{len(samples)} supervisor sample(s) over "
+                        f"{float(samples[-1].get('t', 0.0) or 0.0):.1f}s"))
+
     per_worker = campaign.get("per_worker") or {}
     if per_worker:
         parts.append("<h3>Per-worker throughput</h3>"
@@ -470,6 +666,7 @@ def render_dashboard(ledger: Optional[Dict] = None,
                      metrics: Optional[Dict] = None,
                      history: Optional[List[Dict]] = None,
                      campaign: Optional[Dict] = None,
+                     series: Optional[List[Dict]] = None,
                      title: str = "repro run dashboard") -> str:
     """Render the artifacts of one run as a single HTML document.
 
@@ -479,11 +676,16 @@ def render_dashboard(ledger: Optional[Dict] = None,
     entries (:func:`repro.harness.history.read_history`); fingerprints
     with two or more entries render a timeline.  ``campaign`` is a
     :func:`repro.campaign.supervisor.campaign_summary` snapshot, safe
-    to regenerate while the campaign is still running.
+    to regenerate while the campaign is still running.  ``series`` is
+    a list of windowed time-series records from
+    :func:`repro.obs.read_series` (a ``--series`` run) — it renders
+    the learning-curve, phase-annotation, and adaptation-lag sections.
     """
     sections: List[str] = []
     if campaign:
         sections.append(_campaign_section(campaign))
+    if series:
+        sections.append(_series_sections(series))
     if ledger:
         manifest = ledger.get("manifest")
         if manifest:
@@ -524,10 +726,11 @@ def write_dashboard(path, ledger: Optional[Dict] = None,
                     metrics: Optional[Dict] = None,
                     history: Optional[List[Dict]] = None,
                     campaign: Optional[Dict] = None,
+                    series: Optional[List[Dict]] = None,
                     title: str = "repro run dashboard") -> None:
     """Render and atomically write the dashboard to ``path``."""
     from ..resilience.atomic import atomic_write_text
 
     atomic_write_text(path, render_dashboard(
         ledger=ledger, events=events, metrics=metrics, history=history,
-        campaign=campaign, title=title))
+        campaign=campaign, series=series, title=title))

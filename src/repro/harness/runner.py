@@ -12,13 +12,24 @@ import multiprocessing
 import os
 import statistics
 import time
+from bisect import bisect_left
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import PathfinderConfig, PathfinderPrefetcher
 from ..errors import ConfigError, WorkerCrashError
-from ..obs import MemorySink, Observability, Tracer, default_observability
+from ..obs import (
+    MemorySink,
+    Observability,
+    SeriesCollector,
+    Tracer,
+    adaptation_lag,
+    default_observability,
+    detect_phases,
+    rate_points,
+)
 from ..obs.ledger import active_ledger, current_run_id
 from ..resilience import faults
 from ..resilience import supervisor as resilience_supervisor
@@ -158,6 +169,68 @@ class EvalRow:
     extras: Dict[str, object] = field(default_factory=dict)
 
 
+def _annotate_phases(obs: Observability, trace_name: str,
+                     prefetcher_name: str) -> List[Dict[str, object]]:
+    """Detect phase changes in this run's miss-rate series.
+
+    Runs the windowed mean-shift detector over the replay's per-window
+    demand miss rate and, for each boundary, measures the prefetcher's
+    adaptation lag on its prediction-accuracy series (windows until
+    accuracy recovers to its pre-boundary level).  Emits one
+    ``phase.change`` trace annotation per boundary when the tracer is
+    live, and returns the annotations for ``EvalRow.extras``.
+    """
+    series = obs.series
+    replay = {"component": "replay", "prefetcher": prefetcher_name,
+              "trace": trace_name}
+    misses = series.find("replay.llc_misses", **replay)
+    l1_hits = series.find("replay.l1_hits", **replay)
+    l1_misses = series.find("replay.l1_misses", **replay)
+    if misses is None or l1_hits is None or l1_misses is None:
+        return []
+    accesses: Dict[int, float] = {}
+    for source in (l1_hits, l1_misses):
+        for start, value in source.sorted_points():
+            accesses[start] = accesses.get(start, 0) + value
+    starts: List[int] = []
+    values: List[float] = []
+    for start, value in misses.sorted_points():
+        total = accesses.get(start)
+        if total:
+            starts.append(start)
+            values.append(value / total)
+    boundaries = detect_phases(values)
+    if not boundaries:
+        return []
+
+    gen = {"component": "generation", "prefetcher": prefetcher_name,
+           "trace": trace_name}
+    correct = series.find("gen.pred_correct", **gen)
+    checked = series.find("gen.pred_checked", **gen)
+    accuracy = (rate_points(correct.snapshot(), checked.snapshot())
+                if correct is not None and checked is not None else [])
+    acc_starts = [start for start, _ in accuracy]
+    acc_values = [value for _, value in accuracy]
+
+    annotations: List[Dict[str, object]] = []
+    for boundary in boundaries:
+        lag = None
+        if acc_values:
+            lag = adaptation_lag(acc_values,
+                                 bisect_left(acc_starts, starts[boundary]))
+        annotations.append({
+            "window_start": starts[boundary],
+            "miss_rate_before": values[boundary - 1],
+            "miss_rate_after": values[boundary],
+            "adaptation_lag": lag,
+        })
+    if obs.tracer.enabled:
+        for annotation in annotations:
+            obs.tracer.emit("phase.change", prefetcher=prefetcher_name,
+                            trace=trace_name, **annotation)
+    return annotations
+
+
 def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
                    baseline: SimResult,
                    hierarchy: Optional[HierarchyConfig] = None,
@@ -184,10 +257,16 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
     if not isinstance(prefetcher, GuardedPrefetcher):
         prefetcher = GuardedPrefetcher(prefetcher)
     prefetcher.attach_observability(obs)
+    gen_recorder = None
+    if obs.series is not None:
+        gen_recorder = obs.series.recorder(
+            component="generation", prefetcher=prefetcher.name,
+            trace=trace.name)
     timings: Dict[str, float] = {}
     start = time.perf_counter()
     with obs.profiler.phase("prefetch_file"):
-        requests = generate_prefetches(prefetcher, trace, budget=budget)
+        requests = generate_prefetches(prefetcher, trace, budget=budget,
+                                       recorder=gen_recorder)
     timings["prefetch_file_s"] = time.perf_counter() - start
     prefetcher.publish_telemetry()
     start = time.perf_counter()
@@ -201,6 +280,10 @@ def run_prefetcher(trace: Trace, prefetcher: Prefetcher,
         # pre-batch artifacts degrade to the shared ``replay_s`` key.
         timings["replay_batch_s"] = timings["replay_s"]
     extras: Dict[str, object] = {"engine_used": sim.engine_used}
+    if obs.series is not None:
+        phases = _annotate_phases(obs, trace.name, prefetcher.name)
+        if phases:
+            extras["phases"] = phases
     if prefetcher.errors:
         extras["prefetcher_errors"] = prefetcher.errors
         extras["quarantined"] = prefetcher.quarantined
@@ -256,7 +339,8 @@ def _worker_faults(attempt: int, index: Optional[int]) -> None:
 
 
 def _run_cell_task(task: Tuple
-                   ) -> Tuple[EvalRow, Optional[object], Optional[List]]:
+                   ) -> Tuple[EvalRow, Optional[object], Optional[List],
+                              Optional[List]]:
     """Worker-process body for one parallel grid cell.
 
     Receives everything it needs as picklable values (trace, baseline,
@@ -280,13 +364,20 @@ def _run_cell_task(task: Tuple
     this hand-off worker events would be silently dropped).
     """
     (trace, baseline, spec, hierarchy, budget, observe, capture_events,
-     engine, plan, attempt, index, run_id, cell) = task
+     engine, plan, attempt, index, run_id, cell, series_window) = task
     with faults.injected(plan):
         _worker_faults(attempt, index)
         obs = None
-        if observe:
+        if observe or series_window:
             tracer = Tracer(MemorySink()) if capture_events else None
-            obs = Observability(tracer=tracer)
+            series = (SeriesCollector(window=series_window)
+                      if series_window else None)
+            if series is not None:
+                # Same ambient label the serial path binds, so a
+                # parallel merge is bit-identical to a serial run.
+                series.bind(cell=cell)
+            obs = Observability(tracer=tracer, series=series,
+                                enabled=observe)
             if capture_events:
                 context = {"cell": cell}
                 if run_id is not None:
@@ -297,7 +388,11 @@ def _run_cell_task(task: Tuple
                              engine=engine)
     events = (obs.tracer.sink.events
               if obs is not None and capture_events else None)
-    return row, (obs.registry if obs is not None else None), events
+    series_records = (obs.series.snapshot()
+                      if obs is not None and obs.series is not None
+                      else None)
+    return (row, (obs.registry if obs is not None and observe else None),
+            events, series_records)
 
 
 @dataclass
@@ -508,10 +603,20 @@ class Evaluation:
             obs = self._obs()
             for i in pending:
                 workload, spec = cells[i]
-                context = {"cell": _cell_label(i, workload, spec)}
+                label = _cell_label(i, workload, spec)
+                if obs.series is not None:
+                    # Fill the trace/baseline caches outside the cell's
+                    # series context, exactly where the parallel path
+                    # generates them, so baseline series carry the same
+                    # (cell-free) labels in both modes.
+                    self.baseline(workload)
+                context = {"cell": label}
                 if run_id is not None:
                     context["run_id"] = run_id
-                with obs.tracer.context(**context):
+                series_context = (obs.series.context(cell=label)
+                                  if obs.series is not None
+                                  else nullcontext())
+                with obs.tracer.context(**context), series_context:
                     finish(i, self.run(workload, spec)
                            if isinstance(spec, str)
                            else self.run_config(workload, spec))
@@ -522,6 +627,7 @@ class Evaluation:
         obs = self._obs()  # resolves the ambient bundle, if any
         observe = obs.enabled
         capture = observe and obs.tracer.enabled
+        series_window = (obs.series.window if obs.series is not None else 0)
         plan = faults.active()
 
         def make_task(pos: int, attempt: int) -> Tuple:
@@ -530,7 +636,7 @@ class Evaluation:
             return (self.trace(workload), self.baseline(workload), spec,
                     self.hierarchy, self.budget, observe, capture,
                     self.engine, plan, attempt, i, run_id,
-                    _cell_label(i, workload, spec))
+                    _cell_label(i, workload, spec), series_window)
 
         if policy is None:
             # Unsupervised fan-out: one submit per cell so a raising
@@ -544,7 +650,8 @@ class Evaluation:
                 for pos, future in enumerate(futures):
                     i = pending[pos]
                     try:
-                        row, registry, events = future.result()
+                        row, registry, events, series_records = \
+                            future.result()
                     except Exception as exc:  # noqa: BLE001
                         failures[i] = f"{type(exc).__name__}: {exc}"
                     else:
@@ -556,6 +663,8 @@ class Evaluation:
                             # so worker events land in deterministic
                             # cell order regardless of completion order.
                             self._obs().tracer.ingest(events)
+                        if series_records and obs.series is not None:
+                            obs.series.ingest(series_records)
             if failures:
                 raise WorkerCrashError(
                     f"{len(failures)} of {len(cells)} grid cell(s) "
@@ -576,11 +685,13 @@ class Evaluation:
             i = pending[pos]
             workload, spec = cells[i]
             if outcome.ok:
-                row, registry, events = outcome.value
+                row, registry, events, series_records = outcome.value
                 if registry is not None:
                     self._obs().registry.merge(registry)
                 if events:
                     self._obs().tracer.ingest(events)
+                if series_records and obs.series is not None:
+                    obs.series.ingest(series_records)
                 row.extras["outcome"] = outcome.outcome
                 row.extras["attempts"] = outcome.attempts
                 if outcome.error is not None:

@@ -38,6 +38,19 @@ from .telemetry import (
     MetricsScope,
     metric_key,
 )
+from .timeseries import (
+    DEFAULT_POINT_CAP,
+    DEFAULT_WINDOW,
+    SERIES_SCHEMA,
+    Series,
+    SeriesCollector,
+    WindowRecorder,
+    adaptation_lag,
+    detect_phases,
+    rate_points,
+    read_campaign_series,
+    read_series,
+)
 from .tracing import JsonlSink, MemorySink, NullSink, Tracer, read_events
 
 
@@ -48,21 +61,26 @@ class Observability:
         registry: Metrics store (fresh one by default).
         tracer: Event tracer (disabled :class:`NullSink` one by default).
         profiler: Phase timers (fresh one by default).
+        series: Optional windowed time-series collector (``--series``);
+            ``None`` — the default — keeps every per-window sampling
+            hook inert.
         enabled: Master switch — :meth:`disabled` instances skip all
             optional instrumentation (histogram hooks, monitor
             bridging, registry mirroring) so the un-observed path costs
             nothing beyond a few boolean checks.
     """
 
-    __slots__ = ("registry", "tracer", "profiler", "enabled")
+    __slots__ = ("registry", "tracer", "profiler", "series", "enabled")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  profiler: Optional[Profiler] = None,
+                 series: Optional[SeriesCollector] = None,
                  enabled: bool = True):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.profiler = profiler if profiler is not None else Profiler()
+        self.series = series
         self.enabled = enabled
 
     @classmethod
@@ -102,6 +120,8 @@ def default_observability() -> Optional[Observability]:
 
 __all__ = [
     "Counter",
+    "DEFAULT_POINT_CAP",
+    "DEFAULT_WINDOW",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -113,14 +133,23 @@ __all__ = [
     "PhaseStats",
     "Profiler",
     "RunLedger",
+    "SERIES_SCHEMA",
+    "Series",
+    "SeriesCollector",
     "Tracer",
+    "WindowRecorder",
     "active_ledger",
+    "adaptation_lag",
     "current_run_id",
     "default_observability",
+    "detect_phases",
     "finish_run",
     "metric_key",
+    "rate_points",
+    "read_campaign_series",
     "read_events",
     "read_ledger",
+    "read_series",
     "set_active_ledger",
     "set_default_observability",
     "start_run",

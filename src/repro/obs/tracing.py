@@ -123,11 +123,20 @@ class Tracer:
             self._bound = saved
 
     def emit(self, event: str, **fields: object) -> None:
-        """Record one event (dropped instantly when disabled)."""
+        """Record one event (dropped instantly when disabled).
+
+        Every record carries two sequence numbers: ``seq``, assigned by
+        the tracer that first built the record (stable per worker), and
+        ``gseq``, the per-run monotonic number assigned by the tracer
+        that writes the final sink.  Sorting a cross-worker event file
+        by ``gseq`` is therefore always deterministic and total — see
+        :meth:`ingest`.
+        """
         if not self.enabled:
             return
         self._seq += 1
-        record: Dict[str, object] = {"event": event, "seq": self._seq}
+        record: Dict[str, object] = {"event": event, "seq": self._seq,
+                                     "gseq": self._seq}
         if self._bound:
             record.update(self._bound)
         record.update(fields)
@@ -137,13 +146,19 @@ class Tracer:
         """Write pre-built records (e.g. shipped back from a grid
         worker's :class:`MemorySink`) to the sink in the given order.
 
-        Records pass through verbatim — they already carry their own
-        ``seq`` and bound context from the tracer that emitted them, so
-        per-cell ordering is preserved at the parent."""
+        Each record keeps its originating tracer's ``seq`` (per-cell
+        ordering) but is stamped with a fresh ``gseq`` from *this*
+        tracer's per-run counter: workers restart their counters from
+        zero, so worker-local sequence numbers collide across cells and
+        cannot order a merged stream — the parent-assigned ``gseq``
+        can, and makes the merged file sortable deterministically."""
         if not self.enabled:
             return
         for record in events:
-            self.sink.write(record)
+            self._seq += 1
+            stamped = dict(record)
+            stamped["gseq"] = self._seq
+            self.sink.write(stamped)
 
     @contextmanager
     def span(self, name: str, **fields: object) -> Iterator[None]:

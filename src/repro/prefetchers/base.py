@@ -48,6 +48,27 @@ class Prefetcher:
     def train(self, trace: Trace) -> None:
         """Offline training pass (no-op for online prefetchers)."""
 
+    def series_arm(self) -> None:
+        """Start windowed learning-dynamics bookkeeping (``--series``).
+
+        Called once by :func:`generate_prefetches` before the first
+        access when a series recorder is armed.  The base
+        implementation is a no-op; prefetchers with internals worth
+        tracking per window (PATHFINDER's prediction accuracy, weight
+        drift, table churn) override this and :meth:`series_sample`.
+        """
+
+    def series_sample(self, cumulative, gauges) -> None:
+        """Contribute windowed series values at a window boundary.
+
+        ``cumulative`` and ``gauges`` are dicts the driver passes to
+        one :meth:`repro.obs.timeseries.WindowRecorder.sample` call;
+        implementations add cumulative counters (diffed into per-window
+        sums by the recorder) and point-in-time gauges.  Only called
+        after :meth:`series_arm`.  Must not mutate prediction state —
+        prefetch files stay bit-identical with the series on or off.
+        """
+
     def process(self, access: MemoryAccess) -> List[int]:
         """Observe one demand load; return byte addresses to prefetch.
 
@@ -87,10 +108,16 @@ class Prefetcher:
 DEFAULT_CHUNK = 4096
 
 
+#: Series name for the driver's own cumulative counter: prefetch
+#: records emitted so far (per-window deltas after recording).
+GEN_PREFETCHES = "gen.prefetches"
+
+
 def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
                         budget: int = 2,
                         train: bool = True,
-                        chunk: int = DEFAULT_CHUNK) -> List[PrefetchRequest]:
+                        chunk: int = DEFAULT_CHUNK,
+                        recorder=None) -> List[PrefetchRequest]:
     """Run ``prefetcher`` over ``trace`` and emit its prefetch file.
 
     The driver is columnar: the trace's struct-of-arrays view is
@@ -108,6 +135,14 @@ def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
         train: Whether to invoke the prefetcher's offline
             :meth:`Prefetcher.train` hook first.
         chunk: Accesses per :meth:`Prefetcher.process_batch` call.
+        recorder: Optional :class:`~repro.obs.timeseries.WindowRecorder`.
+            When given, the driver arms the prefetcher's
+            :meth:`Prefetcher.series_arm` bookkeeping, splits chunks at
+            window boundaries, and emits one sample per window (its own
+            emitted-prefetch counter plus whatever the prefetcher's
+            :meth:`Prefetcher.series_sample` contributes).  Pure
+            observation: the returned prefetch file is bit-identical
+            with or without it.
 
     Returns:
         Prefetch records ordered by trigger instruction id.
@@ -127,12 +162,20 @@ def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
         raise ConfigError("driver chunk size must be positive")
     if train:
         prefetcher.train(trace)
+    if recorder is not None:
+        prefetcher.series_arm()
+    window = recorder.window if recorder is not None else 0
     arrays = trace.arrays()
     instr_ids = arrays.instr_id_list()
     n = len(instr_ids)
     requests: List[PrefetchRequest] = []
-    for start in range(0, n, chunk):
+    start = 0
+    while start < n:
         end = min(start + chunk, n)
+        if window:
+            # Never let a chunk straddle a window boundary, so samples
+            # land exactly on multiples of the recorder's window.
+            end = min(end, (start // window + 1) * window)
         try:
             per_access = prefetcher.process_batch(
                 arrays.addresses[start:end],
@@ -160,4 +203,10 @@ def generate_prefetches(prefetcher: Prefetcher, trace: Trace,
                     trigger_instr_id=trigger, address=address))
                 if len(seen) >= budget:
                     break
+        if window and (end % window == 0 or end == n):
+            cumulative = {GEN_PREFETCHES: len(requests)}
+            gauges: dict = {}
+            prefetcher.series_sample(cumulative, gauges)
+            recorder.sample(end, cumulative=cumulative, gauges=gauges)
+        start = end
     return requests

@@ -76,6 +76,12 @@ class GuardedPrefetcher(Prefetcher):
                 "guard.degraded", prefetcher=self.name, errors=self.errors,
                 quarantined=self.quarantined, last_error=self.last_error)
 
+    def series_arm(self) -> None:
+        self.inner.series_arm()
+
+    def series_sample(self, cumulative, gauges) -> None:
+        self.inner.series_sample(cumulative, gauges)
+
     def train(self, trace: Trace) -> None:
         """Offline training; a failure quarantines the whole model."""
         try:

@@ -91,6 +91,10 @@ class DramModel:
             self.wait_histogram.observe(start - cycle)
         return completion
 
+    def queue_len(self, cycle: int) -> int:
+        """Outstanding requests still in flight at ``cycle`` (read-only)."""
+        return sum(1 for c in self._inflight if c > cycle)
+
     @property
     def average_wait(self) -> float:
         """Mean cycles requests spent waiting for bank/queue availability."""
@@ -152,6 +156,10 @@ class FlatDram:
         if self.wait_histogram is not None:
             self.wait_histogram.observe(start - cycle)
         return completion
+
+    def queue_len(self, cycle: int) -> int:
+        """Outstanding requests still in flight at ``cycle`` (read-only)."""
+        return sum(1 for c in self.inflight if c > cycle)
 
     @property
     def average_wait(self) -> float:

@@ -25,5 +25,6 @@ The public surface is unchanged from the pre-package module:
 
 from .scalar import replay_fast
 from .batch import replay_batch
+from .windowed import replay_windowed
 
-__all__ = ["replay_fast", "replay_batch"]
+__all__ = ["replay_fast", "replay_batch", "replay_windowed"]

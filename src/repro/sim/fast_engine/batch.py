@@ -25,6 +25,7 @@ from ...types import Trace
 from .ckernel import load_kernel
 from .planner import plan_replay
 from .scalar import replay_fast
+from .windowed import feed_kernel_series, replay_windowed
 
 
 def _load_replay_kernel():
@@ -34,12 +35,15 @@ def _load_replay_kernel():
 
 def replay_batch(sim, trace: Trace,
                  by_trigger: Dict[int, List[int]],
-                 result: SimResult) -> None:
+                 result: SimResult, recorder=None) -> None:
     """Replay ``trace`` on ``sim`` using the batch plan.
 
     Same contract as :func:`replay_fast`: mutates ``result`` and the
     simulator's cache/DRAM stats in place; the caller owns the shared
-    epilogue.
+    epilogue.  With a :class:`~repro.obs.timeseries.WindowRecorder`
+    armed, the kernel emits one cumulative-counter row per window (the
+    fallback path runs the window-tiled scalar loop instead) — pure
+    observation either way, results stay bit-identical.
     """
     arrays = trace.arrays()
     plan = plan_replay(arrays, by_trigger)
@@ -48,11 +52,19 @@ def replay_batch(sim, trace: Trace,
             and not any(sim.llc.sets))
     if (kernel is None or not plan.kernel_eligible or not cold
             or sim._pf_heap or sim._pf_inflight):
-        replay_fast(sim, trace, by_trigger, result)
+        if recorder is not None:
+            replay_windowed(sim, trace, by_trigger, result, recorder)
+        else:
+            replay_fast(sim, trace, by_trigger, result)
         return
 
+    series_window = recorder.window if recorder is not None else 0
     out = kernel.replay(arrays.instr_ids, arrays.blocks,
-                        plan.pf_starts, plan.pf_blocks, sim.config)
+                        plan.pf_starts, plan.pf_blocks, sim.config,
+                        series_window=series_window)
+    if recorder is not None:
+        feed_kernel_series(recorder, out["series"], len(arrays),
+                           series_window)
 
     # -- write the kernel's counters back (same targets as the scalar
     # loop's epilogue) ---------------------------------------------------

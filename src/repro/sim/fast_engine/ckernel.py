@@ -292,6 +292,7 @@ int64_t pf_replay(
     int64_t *map_keys, int64_t *map_vals, int64_t map_mask,
     int64_t *rob_ids, double *rob_done, int64_t rob_cap,
     int64_t *wait_out,
+    int64_t series_window, int64_t *series_out,
     int64_t *counts_out, double *floats_out)
 {
     const int64_t width = cfg[CFG_WIDTH];
@@ -604,6 +605,30 @@ int64_t pf_replay(
             pheap_push(pf_comp, pf_blkh, &pf_len, completion_i, pfb);
             pf_issued++;
         }
+
+        /* ---- per-window series write-back (pure observation) ----
+         * One cumulative-counter snapshot per window boundary; the
+         * Python recorder diffs adjacent rows into per-window deltas.
+         * With series_window == 0 this is one always-false branch per
+         * access; it never touches replay state, so results stay
+         * bit-identical with the series on or off. */
+        if (series_window > 0
+                && ((i + 1) % series_window == 0 || i + 1 == n)) {
+            int64_t *row = series_out + (i / series_window) * 13;
+            row[0] = l1_hits;
+            row[1] = l1_misses;
+            row[2] = l2_hits;
+            row[3] = l2_misses;
+            row[4] = llc_hits;
+            row[5] = llc_misses;
+            row[6] = llc_useful;
+            row[7] = pf_issued;
+            row[8] = pf_late;
+            row[9] = pf_dropped;
+            row[10] = dram_requests;
+            row[11] = dram_wait;
+            row[12] = dram_len;  /* gauge: outstanding DRAM queue */
+        }
     }
 
     /* ---- core.finalize (drain = max remaining ROB completion) ---- */
@@ -647,6 +672,17 @@ COUNT_FIELDS = (
     "pf_issued", "pf_late", "pf_dropped",
 )
 
+#: Column layout of each per-window ``series_out`` row (matches the C
+#: write-back).  The first twelve columns are cumulative counters; the
+#: last is the instantaneous DRAM-queue occupancy gauge at the window
+#: boundary.
+SERIES_FIELDS = (
+    "l1_hits", "l1_misses", "l2_hits", "l2_misses",
+    "llc_hits", "llc_misses", "llc_useful",
+    "pf_issued", "pf_late", "pf_dropped",
+    "dram_requests", "dram_wait", "dram_queue_len",
+)
+
 _kernel: Optional["ReplayKernel"] = None
 _kernel_tried = False
 
@@ -672,18 +708,22 @@ class ReplayKernel:
             _INT64_P, _INT64_P, ctypes.c_int64,  # map_keys/vals/mask
             _INT64_P, _DOUBLE_P, ctypes.c_int64,  # rob_ids/done/cap
             _INT64_P,                    # wait_out
+            ctypes.c_int64, _INT64_P,    # series_window, series_out
             _INT64_P, _DOUBLE_P,         # counts_out, floats_out
         ]
         self._replay = fn
 
     def replay(self, instr_ids: np.ndarray, blocks: np.ndarray,
                pf_starts: np.ndarray, pf_blocks: np.ndarray,
-               config) -> dict:
+               config, series_window: int = 0) -> dict:
         """Run one full replay; returns counters, cursors, and waits.
 
         ``config`` is a :class:`repro.sim.simulator.HierarchyConfig`.
         All state is kernel-local (caches assumed cold, prefetch state
-        empty — the batch driver checks both).
+        empty — the batch driver checks both).  With ``series_window``
+        > 0, ``out["series"]`` holds one cumulative-counter row per
+        window (:data:`SERIES_FIELDS` columns) — pure observation, the
+        replay itself is unchanged.
         """
         n = len(instr_ids)
         npf = len(pf_blocks)
@@ -721,6 +761,9 @@ class ReplayKernel:
         rob_ids = np.empty(rob_cap, dtype=np.int64)
         rob_done = np.empty(rob_cap, dtype=np.float64)
         wait_out = np.empty(n + npf + 1, dtype=np.int64)
+        series_rows = (-(-n // series_window) if series_window > 0 else 0)
+        series_out = np.zeros((max(1, series_rows), len(SERIES_FIELDS)),
+                              dtype=np.int64)
         counts_out = np.zeros(len(COUNT_FIELDS), dtype=np.int64)
         floats_out = np.zeros(3, dtype=np.float64)
 
@@ -741,7 +784,9 @@ class ReplayKernel:
             ip(pf_comp), ip(pf_blkh),
             ip(map_keys), ip(map_vals), map_cap - 1,
             ip(rob_ids), rob_done.ctypes.data_as(_DOUBLE_P), rob_cap,
-            ip(wait_out), ip(counts_out),
+            ip(wait_out),
+            series_window if series_window > 0 else 0, ip(series_out),
+            ip(counts_out),
             floats_out.ctypes.data_as(_DOUBLE_P),
         )
         out = dict(zip(COUNT_FIELDS, counts_out.tolist()))
@@ -749,6 +794,8 @@ class ReplayKernel:
         out["commit"] = float(floats_out[1])
         out["drain"] = float(floats_out[2])
         out["waits"] = wait_out[:out["dram_requests"]]
+        if series_window > 0:
+            out["series"] = series_out[:series_rows]
         return out
 
 

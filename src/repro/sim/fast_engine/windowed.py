@@ -1,0 +1,363 @@
+"""Window-tiled fused replay loop: the fast engine with ``--series`` on.
+
+A transcription of :func:`repro.sim.fast_engine.scalar.replay_fast`'s
+*generic prefetching loop* (which subsumes the prefetch-free loop — with
+no prefetch state every prefetch branch is unreachable), tiled into
+fixed access-index windows.  At each window boundary the hoisted
+cumulative counters are written back once into a
+:class:`~repro.obs.timeseries.WindowRecorder`; inside a window the loop
+body is the scalar loop's, arithmetic for arithmetic, so the returned
+:class:`~repro.sim.metrics.SimResult` stays bit-identical with the
+series on or off (``tests/test_replay_parity.py`` pins this).
+
+This is also where the batch engine lands when a recorder is armed but
+the compiled kernel cannot run (no compiler, ineligible plan, warm
+caches, pre-existing prefetch state): the kernel writes the same
+cumulative rows itself (:data:`~repro.sim.fast_engine.ckernel.SERIES_FIELDS`),
+and :func:`feed_kernel_series` replays them through the same recorder,
+so all engines produce the same series for the same replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Dict, List
+
+import numpy as np
+
+from ..metrics import SimResult
+from ...types import Trace
+
+#: Recorder series names for the kernel's per-window row columns, in
+#: :data:`~repro.sim.fast_engine.ckernel.SERIES_FIELDS` order (the last
+#: column is the DRAM-queue occupancy gauge).
+REPLAY_SERIES_NAMES = (
+    "replay.l1_hits", "replay.l1_misses",
+    "replay.l2_hits", "replay.l2_misses",
+    "replay.llc_hits", "replay.llc_misses", "replay.llc_useful",
+    "replay.pf_issued", "replay.pf_late", "replay.pf_dropped",
+    "replay.dram_requests", "replay.dram_wait",
+)
+
+REPLAY_QUEUE_GAUGE = "replay.dram_queue_len"
+
+
+def feed_kernel_series(recorder, series_rows: np.ndarray, n: int,
+                       window: int) -> None:
+    """Feed the compiled kernel's cumulative rows through a recorder.
+
+    ``series_rows`` is the kernel's ``out["series"]`` matrix: one row
+    per window, cumulative counters plus the queue gauge, exactly what
+    :meth:`~repro.obs.timeseries.WindowRecorder.sample` expects.
+    """
+    for k, row in enumerate(series_rows.tolist()):
+        end = (k + 1) * window
+        if end > n:
+            end = n
+        recorder.sample(
+            end,
+            cumulative=dict(zip(REPLAY_SERIES_NAMES, row)),
+            gauges={REPLAY_QUEUE_GAUGE: row[len(REPLAY_SERIES_NAMES)]})
+
+
+def replay_windowed(sim, trace: Trace,
+                    by_trigger: Dict[int, List[int]],
+                    result: SimResult, recorder) -> None:
+    """Replay ``trace`` on ``sim``'s fast-engine state, sampling series.
+
+    Same contract as :func:`~repro.sim.fast_engine.scalar.replay_fast`
+    — mutates ``result`` and the simulator's cache/DRAM stats in place
+    — plus one :meth:`~repro.obs.timeseries.WindowRecorder.sample` call
+    per window boundary.
+    """
+    cfg = sim.config
+    core_cfg = cfg.core
+    width = core_cfg.width
+    rob_size = core_cfg.rob_size
+    mshr_cap = core_cfg.mshrs
+
+    l1_lat = cfg.l1d.latency
+    l2_lat = l1_lat + cfg.l2.latency
+    llc_lat = l2_lat + cfg.llc.latency
+
+    l1, l2, llc = sim.l1d, sim.l2, sim.llc
+    l1_sets = l1.sets
+    l1_mask = cfg.l1d.sets - 1
+    l1_ways = cfg.l1d.ways
+    l1_hits = l1_misses = 0
+
+    l2_sets = l2.sets
+    l2_mask = cfg.l2.sets - 1
+    l2_ways = cfg.l2.ways
+    l2_hits = l2_misses = 0
+
+    llc_sets = llc.sets
+    llc_mask = cfg.llc.sets - 1
+    llc_ways = cfg.llc.ways
+    llc_hits = llc_misses = 0
+    llc_useful = llc_evicted_unused = llc_pf_fills = 0
+
+    dram = sim.dram
+    dram_cfg = dram.config
+    n_banks = dram_cfg.total_banks
+    base_latency = dram_cfg.base_latency
+    bank_occupancy = dram_cfg.bank_occupancy
+    queue_size = dram_cfg.read_queue_size
+    bank_free = dram.bank_free
+    dram_q = dram.inflight
+    dram_requests = 0
+    dram_wait = 0
+    wait_hist = dram.wait_histogram
+    wait_observe = wait_hist.observe if wait_hist is not None else None
+
+    dispatch = 0.0
+    commit = 0.0
+    last_instr_id = 0
+    window = deque()   # (instr_id, completion) inside the ROB window
+    window_append = window.append
+    window_popleft = window.popleft
+    mshr: List[int] = []
+
+    pf_heap = sim._pf_heap
+    pf_inflight: Dict[int, int] = sim._pf_inflight
+    pf_inflight_pop = pf_inflight.pop
+    pf_issued = pf_late = pf_dropped = 0
+    trigger_get = by_trigger.get
+
+    arrays = trace.arrays()
+    ids_np = arrays.instr_ids
+    n = len(ids_np)
+    instr_ids_l = arrays.instr_id_list()
+    blocks_l = arrays.block_list()
+
+    # Trigger alignment, exactly as in replay_fast's prefetching loop.
+    if by_trigger and n and arrays.monotone():
+        pf_lists: List = [None] * n
+        keys = np.fromiter(by_trigger.keys(), dtype=np.int64,
+                           count=len(by_trigger))
+        pos = np.minimum(np.searchsorted(ids_np, keys), np.int64(n - 1))
+        hit = (ids_np[pos] == keys).tolist()
+        for key, p, ok in zip(keys.tolist(), pos.tolist(), hit):
+            if ok:
+                pf_lists[p] = by_trigger[key]
+    elif by_trigger:
+        pf_lists = list(map(trigger_get, instr_ids_l))
+    else:
+        pf_lists = [None] * n
+
+    series_window = recorder.window
+    for w_start in range(0, n, series_window):
+        w_stop = w_start + series_window
+        if w_stop > n:
+            w_stop = n
+        for instr_id, block, pf_blocks in zip(
+                instr_ids_l[w_start:w_stop], blocks_l[w_start:w_stop],
+                pf_lists[w_start:w_stop]):
+            # ---- core.dispatch_load ------------------------------------
+            gap = instr_id - last_instr_id
+            last_instr_id = instr_id
+            if gap > 0:
+                dispatch += gap / width
+            while window:
+                oldest = window[0]
+                if instr_id - oldest[0] < rob_size:
+                    break
+                done = oldest[1]
+                if done > dispatch:
+                    dispatch = done
+                window_popleft()
+
+            # ---- drain completed prefetches into the LLC ---------------
+            while pf_heap and pf_heap[0][0] <= dispatch:
+                fill_block = heappop(pf_heap)[1]
+                if pf_inflight_pop(fill_block, None) is None:
+                    continue  # superseded (demand fetched it first)
+                lines = llc_sets[fill_block & llc_mask]
+                bit = lines.pop(fill_block, None)
+                if bit is not None:
+                    lines[fill_block] = bit  # resident: refresh, keep bit
+                    continue
+                lines[fill_block] = 1
+                llc_pf_fills += 1
+                if len(lines) > llc_ways:
+                    victim = next(iter(lines))
+                    if lines.pop(victim):
+                        llc_evicted_unused += 1
+
+            # ---- demand access through the hierarchy -------------------
+            lines = l1_sets[block & l1_mask]
+            if block in lines:
+                l1_hits += 1
+                del lines[block]
+                lines[block] = 0
+                done = dispatch + l1_lat
+            else:
+                l1_misses += 1
+                l2_lines = l2_sets[block & l2_mask]
+                if block in l2_lines:
+                    l2_hits += 1
+                    del l2_lines[block]
+                    l2_lines[block] = 0
+                    done = dispatch + l2_lat
+                else:
+                    l2_misses += 1
+                    llc_lines = llc_sets[block & llc_mask]
+                    bit = llc_lines.pop(block, None)
+                    if bit is not None:
+                        llc_hits += 1
+                        if bit:
+                            llc_useful += 1
+                        llc_lines[block] = 0
+                        done = dispatch + llc_lat
+                    else:
+                        llc_misses += 1
+                        inflight_completion = pf_inflight_pop(block, None)
+                        if inflight_completion is not None:
+                            pf_late += 1
+                            lookup_done = dispatch + llc_lat
+                            completion = (
+                                inflight_completion
+                                if inflight_completion > lookup_done
+                                else lookup_done)
+                        else:
+                            issue = dispatch + llc_lat
+                            # core.mshr_admit
+                            while mshr and mshr[0] <= issue:
+                                heappop(mshr)
+                            if len(mshr) >= mshr_cap:
+                                freed = heappop(mshr)
+                                if freed > issue:
+                                    issue = freed
+                                while mshr and mshr[0] <= issue:
+                                    heappop(mshr)
+                            # dram.access at int(issue)
+                            cycle = int(issue)
+                            while dram_q and dram_q[0] <= cycle:
+                                heappop(dram_q)
+                            start = cycle
+                            if len(dram_q) >= queue_size:
+                                if dram_q[0] > start:
+                                    start = dram_q[0]
+                                while dram_q and dram_q[0] <= start:
+                                    heappop(dram_q)
+                            bank = block % n_banks
+                            if bank_free[bank] > start:
+                                start = bank_free[bank]
+                            bank_free[bank] = start + bank_occupancy
+                            completion = start + base_latency
+                            heappush(dram_q, completion)
+                            dram_requests += 1
+                            dram_wait += start - cycle
+                            if wait_observe is not None:
+                                wait_observe(start - cycle)
+                            heappush(mshr, completion)  # core.mshr_fill
+                        llc_lines[block] = 0
+                        if len(llc_lines) > llc_ways:
+                            victim = next(iter(llc_lines))
+                            if llc_lines.pop(victim):
+                                llc_evicted_unused += 1
+                        # Same float round trip as the reference.
+                        done = dispatch + (completion - dispatch)
+
+                    # L2 fill, shared by LLC-hit and LLC-miss paths.
+                    l2_lines[block] = 0
+                    if len(l2_lines) > l2_ways:
+                        del l2_lines[next(iter(l2_lines))]
+
+                # L1 fill, shared by every L1-miss path.
+                lines[block] = 0
+                if len(lines) > l1_ways:
+                    del lines[next(iter(lines))]
+
+            # ---- core.complete_load ------------------------------------
+            window_append((instr_id, done))
+            if done > commit:
+                commit = done
+
+            # ---- issue this trigger's prefetches -----------------------
+            if pf_blocks is not None:
+                for pf_block in pf_blocks:
+                    if (pf_block in llc_sets[pf_block & llc_mask]
+                            or pf_block in pf_inflight):
+                        pf_dropped += 1
+                        continue
+                    # dram.access at int(dispatch)
+                    cycle = int(dispatch)
+                    while dram_q and dram_q[0] <= cycle:
+                        heappop(dram_q)
+                    start = cycle
+                    if len(dram_q) >= queue_size:
+                        if dram_q[0] > start:
+                            start = dram_q[0]
+                        while dram_q and dram_q[0] <= start:
+                            heappop(dram_q)
+                    bank = pf_block % n_banks
+                    if bank_free[bank] > start:
+                        start = bank_free[bank]
+                    bank_free[bank] = start + bank_occupancy
+                    completion = start + base_latency
+                    heappush(dram_q, completion)
+                    dram_requests += 1
+                    dram_wait += start - cycle
+                    if wait_observe is not None:
+                        wait_observe(start - cycle)
+                    pf_inflight[pf_block] = completion
+                    heappush(pf_heap, (completion, pf_block))
+                    pf_issued += 1
+
+        # ---- one series write-back per window ---------------------------
+        recorder.sample(
+            w_stop,
+            cumulative={
+                "replay.l1_hits": l1_hits,
+                "replay.l1_misses": l1_misses,
+                "replay.l2_hits": l2_hits,
+                "replay.l2_misses": l2_misses,
+                "replay.llc_hits": llc_hits,
+                "replay.llc_misses": llc_misses,
+                "replay.llc_useful": llc_useful,
+                "replay.pf_issued": pf_issued,
+                "replay.pf_late": pf_late,
+                "replay.pf_dropped": pf_dropped,
+                "replay.dram_requests": dram_requests,
+                "replay.dram_wait": dram_wait,
+            },
+            gauges={REPLAY_QUEUE_GAUGE: len(dram_q)})
+
+    # -- write the hoisted counters back ---------------------------------
+    l1.hits, l1.misses = l1_hits, l1_misses
+    l2.hits, l2.misses = l2_hits, l2_misses
+    llc.hits, llc.misses = llc_hits, llc_misses
+    llc.useful_prefetches = llc_useful
+    llc.evicted_unused_prefetches = llc_evicted_unused
+    llc.prefetch_fills = llc_pf_fills
+    dram.requests = dram_requests
+    dram.total_wait_cycles = dram_wait
+    if pf_dropped:
+        sim._pf_dropped.inc(pf_dropped)
+
+    result.l1d_hits = l1_hits
+    result.l2_hits = l2_hits
+    result.llc_hits = llc_hits
+    result.llc_misses = llc_misses
+    result.pf_issued = pf_issued
+    result.pf_late = pf_late
+    # Late prefetches count as useful here, exactly as in the reference
+    # loop; the caller's epilogue adds the LLC's in-cache useful count.
+    result.pf_useful = pf_late
+
+    # ---- core.finalize -------------------------------------------------
+    drain = 0.0
+    for entry in window:
+        done = entry[1]
+        if done > drain:
+            drain = done
+    cycles = trace.instruction_count / width
+    if dispatch > cycles:
+        cycles = dispatch
+    if commit > cycles:
+        cycles = commit
+    if drain > cycles:
+        cycles = drain
+    result.cycles = cycles

@@ -21,7 +21,8 @@ from ..types import PrefetchRequest, Trace
 from .cache import ArrayCache, CacheConfig, SetAssociativeCache
 from .cpu import CoreConfig, TimingCore
 from .dram import DramConfig, DramModel, FlatDram
-from .fast_engine import replay_batch, replay_fast
+from .fast_engine import replay_batch, replay_fast, replay_windowed
+from .fast_engine.windowed import REPLAY_QUEUE_GAUGE, REPLAY_SERIES_NAMES
 from .metrics import SimResult
 
 #: Replay engines accepted by :class:`Simulator` and :func:`simulate`.
@@ -309,10 +310,27 @@ class Simulator:
                                  prefetcher=prefetcher_name,
                                  loads=len(trace))
 
+        # Windowed series collection (``--series``): one recorder per
+        # replay, fed cumulative counters at window boundaries.  With
+        # no collector armed — the default — every engine runs its
+        # series-free path untouched.
+        recorder = None
+        if self.obs.series is not None:
+            recorder = self.obs.series.recorder(
+                component="replay", prefetcher=prefetcher_name,
+                trace=trace.name)
+
         if self.engine_used == "batch":
-            replay_batch(self, trace, by_trigger, result)
+            replay_batch(self, trace, by_trigger, result,
+                         recorder=recorder)
         elif self.engine_used == "fast":
-            replay_fast(self, trace, by_trigger, result)
+            if recorder is not None:
+                replay_windowed(self, trace, by_trigger, result, recorder)
+            else:
+                replay_fast(self, trace, by_trigger, result)
+        elif recorder is not None:
+            self._run_reference_windowed(trace, by_trigger, result,
+                                         recorder)
         else:
             for acc in trace:
                 dispatch = self.core.dispatch_load(acc.instr_id)
@@ -334,6 +352,45 @@ class Simulator:
             result.extra["pf_dropped"] = float(self._pf_dropped.value)
         self._publish_metrics(trace, prefetcher_name, result)
         return result
+
+    def _run_reference_windowed(self, trace: Trace,
+                                by_trigger: Dict[int, List[int]],
+                                result: SimResult, recorder) -> None:
+        """The reference loop plus window-boundary series samples.
+
+        Identical arithmetic to the un-instrumented loop in
+        :meth:`run` — the only additions are an access index and a
+        cumulative-counter snapshot at each window boundary, so the
+        :class:`SimResult` stays bit-identical with and without
+        ``--series`` (pinned by the parity suite).
+        """
+        window = recorder.window
+        n = len(trace)
+        next_boundary = min(window, n)
+        i = 0
+        for acc in trace:
+            dispatch = self.core.dispatch_load(acc.instr_id)
+            self._drain_completed_prefetches(dispatch)
+            latency = self._demand_access(acc.block, dispatch, result)
+            self.core.complete_load(acc.instr_id, dispatch + latency)
+            for block in by_trigger.get(acc.instr_id, ()):
+                self._issue_prefetch(block, dispatch, result,
+                                     trigger=acc.instr_id)
+            i += 1
+            if i == next_boundary:
+                recorder.sample(i, cumulative=dict(zip(
+                    REPLAY_SERIES_NAMES,
+                    (self.l1d.hits, self.l1d.misses,
+                     self.l2.hits, self.l2.misses,
+                     self.llc.hits, self.llc.misses,
+                     self.llc.useful_prefetches,
+                     result.pf_issued, result.pf_late,
+                     self._pf_dropped.value,
+                     self.dram.requests, self.dram.total_wait_cycles))),
+                    gauges={REPLAY_QUEUE_GAUGE: self.dram.queue_len(
+                        int(dispatch))})
+                next_boundary = min(next_boundary + window, n)
+        result.cycles = self.core.finalize(trace.instruction_count)
 
     def _publish_metrics(self, trace: Trace, prefetcher_name: str,
                          result: SimResult) -> None:

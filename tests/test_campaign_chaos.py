@@ -195,3 +195,56 @@ def test_stored_fault_spec_rearms_on_resume(tmp_path):
     assert result["stats"]["worker_crashes"] >= 1  # fault fired on resume
     meta = json.loads((directory / "campaign.json").read_text())
     assert meta["fault_spec"] == "campaign.worker_crash:cells=1"
+
+
+def test_campaign_series_survives_interrupt_and_resume(tmp_path):
+    # campaign_series.jsonl is an append-only single-writer file with a
+    # flush per record: an interrupt tears at most the final line, and a
+    # resumed campaign keeps appending to the same file.
+    from repro.campaign.supervisor import SERIES_FILE
+    from repro.obs import read_campaign_series
+
+    spec = chaos_spec(seeds=(1, 2), workers=1)
+    directory = tmp_path / "series"
+    campaign = Campaign.create(directory, spec)
+    first = campaign.run(stop_after=1, series=True, echo=lambda _line: None)
+    assert first["interrupted"] and not first["finished"]
+
+    series_path = directory / SERIES_FILE
+    assert series_path.exists()
+    samples = read_campaign_series(series_path)  # parseable mid-campaign
+    assert samples and samples[0]["event"] == "start"
+    n_before = len(samples)
+
+    resumed = Campaign.open(directory)
+    resumed.reconcile()
+    second = resumed.run(series=True, echo=lambda _line: None)
+    assert second["finished"]
+
+    samples = read_campaign_series(series_path)
+    assert len(samples) > n_before, "resume must append, not truncate"
+    assert samples[-1]["event"] == "finish"
+    for sample in samples:
+        assert sample["schema"] == 1
+        assert sample["kind"] == "campaign_sample"
+        assert sample["queue_depth"] >= 0
+    # `completed` counts cells finished in the current run segment; the
+    # queue counts in the finish sample account for every cell.
+    assert samples[-1]["counts"].get(DONE) == 4
+    assert samples[-1]["queue_depth"] == 0
+    # The summary surfaces the series for `campaign status`.
+    from repro.campaign.supervisor import campaign_summary
+    summary = campaign_summary(directory)
+    assert summary["series_samples"]
+    assert summary["series_samples"][-1]["event"] == "finish"
+
+
+def test_campaign_series_off_by_default(tmp_path):
+    from repro.campaign.supervisor import SERIES_FILE
+
+    spec = chaos_spec(workers=0)
+    directory = tmp_path / "noseries"
+    campaign = Campaign.create(directory, spec)
+    result = campaign.run(workers=0, echo=lambda _line: None)
+    assert result["finished"]
+    assert not (directory / SERIES_FILE).exists()

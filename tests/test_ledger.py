@@ -1,6 +1,7 @@
 """Run ledger, HTML dashboard, and artifact comparison (observability v2)."""
 
 import json
+import re
 
 import pytest
 
@@ -334,6 +335,71 @@ def test_dashboard_marks_crashed_runs(tmp_path):
 
 def test_dashboard_renders_with_no_inputs():
     assert "no artifacts" in render_dashboard()
+
+
+def test_dashboard_degenerate_histograms_render_without_nan(tmp_path):
+    # Regression: empty and single-bucket histograms used to produce
+    # degenerate SVG axes (NaN/inf coordinates).  They must render as a
+    # placeholder or a finite chart, never emit non-finite numbers.
+    metrics = {"metrics": {"counters": {}, "gauges": {}, "histograms": {
+        "empty_hist": {
+            "count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
+            "max": 0.0, "p50": 0.0, "p99": 0.0, "buckets": {}},
+        "single_bucket": {
+            "count": 3, "total": 9.0, "mean": 3.0, "min": 3.0,
+            "max": 3.0, "p50": 3.0, "p99": 3.0,
+            "buckets": {"le_inf": 3}},
+        "poisoned": {
+            "count": 2, "total": float("nan"), "mean": float("nan"),
+            "min": 1.0, "max": float("inf"), "p50": 1.0, "p99": 1.0,
+            "buckets": {"le_1": float("nan"), "le_inf": float("inf")}},
+    }}, "profile": {"name": "total", "wall_s": 0.1, "calls": 1,
+                    "children": []}}
+    html_text = render_dashboard(metrics=metrics)
+    # The textual stat line may echo nan/inf verbatim; the SVG charts
+    # themselves must only contain finite coordinates.
+    svg_chunks = re.findall(r"<svg.*?</svg>", html_text, re.DOTALL)
+    assert svg_chunks, "finite histograms must still chart"
+    for chunk in svg_chunks:
+        assert "nan" not in chunk.lower()
+        assert "inf" not in chunk.lower().replace("le_inf", "")
+    assert "single_bucket" in html_text
+    assert "(no data)" in html_text  # poisoned buckets fall back
+
+
+def test_dashboard_bar_svg_guard_direct():
+    from repro.harness.dashboard import _bar_svg
+
+    assert _bar_svg([]) == "<p>(no data)</p>"
+    assert _bar_svg([("a", float("nan")),
+                     ("b", float("inf"))]) == "<p>(no data)</p>"
+    svg = _bar_svg([("only", 0.0)])
+    assert "<svg" in svg and "NaN" not in svg and "inf" not in svg
+    # Booleans are not bar values even though bool subclasses int.
+    assert _bar_svg([("flag", True)]) == "<p>(no data)</p>"
+
+
+def test_dashboard_series_sections_render(tmp_path):
+    from repro.obs import SeriesCollector
+
+    collector = SeriesCollector(window=100)
+    labels = {"component": "generation", "prefetcher": "pathfinder",
+              "trace": "cc-5", "cell": "000:cc-5:pathfinder"}
+    replay = {"component": "replay", "prefetcher": "pathfinder",
+              "trace": "cc-5", "cell": "000:cc-5:pathfinder"}
+    for i in range(12):
+        collector.record("gen.pred_checked", i * 100, 10, **labels)
+        collector.record("gen.pred_correct", i * 100,
+                         2 + min(i, 7), **labels)
+        collector.record("replay.l1_hits", i * 100, 80, **replay)
+        collector.record("replay.l1_misses", i * 100, 20, **replay)
+        collector.record("replay.llc_misses", i * 100,
+                         15 if i < 6 else 3, **replay)
+    html_text = render_dashboard(series=collector.snapshot())
+    for marker in ("Learning curves", "Phase-annotated miss rate",
+                   "<svg"):
+        assert marker in html_text
+    assert "NaN" not in html_text
 
 
 def test_cli_report_html(tmp_path, capsys):

@@ -173,7 +173,7 @@ def test_tracer_bound_context_tags_every_record():
             pass
     tracer.emit("c")
     a, b, span, c = sink.events
-    assert a == {"event": "a", "seq": 1, "run_id": "r1"}
+    assert a == {"event": "a", "seq": 1, "gseq": 1, "run_id": "r1"}
     assert b["cell"] == "000:cc-5:spp" and b["run_id"] == "r1"
     assert span["cell"] == "000:cc-5:spp"  # spans inherit the context
     assert "cell" not in c, "context must restore on exit"
@@ -189,18 +189,24 @@ def test_tracer_context_restores_on_exception():
     assert "cell" not in tracer.sink.events[-1]
 
 
-def test_tracer_ingest_passes_records_through_verbatim():
-    # Shipped-back worker records keep their own seq and tags; the
-    # parent's seq counter is not consumed.
+def test_tracer_ingest_restamps_global_sequence():
+    # Shipped-back worker records keep their own per-worker seq and
+    # tags, but the parent assigns each a fresh gseq so the merged
+    # stream has one deterministic total order.
     sink = MemorySink()
     tracer = Tracer(sink)
     tracer.emit("parent")
-    worker_records = [{"event": "w", "seq": 1, "cell": "000"},
-                      {"event": "w", "seq": 2, "cell": "000"}]
+    worker_records = [{"event": "w", "seq": 1, "gseq": 1, "cell": "000"},
+                      {"event": "w", "seq": 2, "gseq": 2, "cell": "000"}]
     tracer.ingest(worker_records)
     tracer.emit("parent2")
-    assert sink.events[1:3] == worker_records
-    assert sink.events[3]["seq"] == 2  # parent counter unaffected
+    assert [e["event"] for e in sink.events] == \
+        ["parent", "w", "w", "parent2"]
+    # Worker-local seq survives verbatim; gseq is parent-assigned.
+    assert [e["seq"] for e in sink.events] == [1, 1, 2, 4]
+    assert [e["gseq"] for e in sink.events] == [1, 2, 3, 4]
+    # Ingest must not mutate the caller's records.
+    assert worker_records[0]["gseq"] == 1
 
     disabled = Tracer()
     disabled.ingest(worker_records)  # no-op, must not raise
@@ -226,8 +232,9 @@ def test_jsonl_sink_round_trip(tmp_path):
         tracer.emit("run.end", trace="cc-5")
     events = read_events(path)
     assert events == [
-        {"event": "pf.issued", "seq": 1, "block": 42, "cycle": 1.5},
-        {"event": "run.end", "seq": 2, "trace": "cc-5"},
+        {"event": "pf.issued", "seq": 1, "gseq": 1, "block": 42,
+         "cycle": 1.5},
+        {"event": "run.end", "seq": 2, "gseq": 2, "trace": "cc-5"},
     ]
 
 

@@ -216,3 +216,26 @@ def test_merge_into_empty_registry_copies_values():
     # The merged histogram is an independent copy.
     b.histogram("h").observe(1.0)
     assert a.snapshot()["histograms"]["h"]["count"] == 1
+
+
+def test_parallel_grid_gseq_is_a_deterministic_total_order():
+    # Every record in the merged stream — parent-emitted or shipped
+    # back from a worker — carries a parent-assigned global sequence
+    # number.  gseq is unique and strictly increasing in arrival order,
+    # so sorting by it is deterministic across workers even though
+    # per-worker seq counters restart per cell.
+    cells = [("cc-5", "nextline"), ("cc-5", "spp"),
+             ("605-mcf-s1", "nextline")]
+    obs = Observability(tracer=Tracer(MemorySink()))
+    Evaluation(n_accesses=1000, obs=obs).run_cells(cells, jobs=2)
+    events = obs.tracer.sink.events
+    assert events
+    gseqs = [e["gseq"] for e in events]
+    assert all(isinstance(g, int) for g in gseqs)
+    assert gseqs == sorted(gseqs)
+    assert len(set(gseqs)) == len(gseqs), "gseq must be unique"
+    # Sorting by gseq reproduces the sink's arrival order exactly.
+    assert sorted(events, key=lambda e: e["gseq"]) == events
+    # Worker-local seq survives alongside the global order.
+    tagged = [e for e in events if "cell" in e]
+    assert all("seq" in e for e in tagged)
